@@ -1,0 +1,373 @@
+// Package cellwheels reproduces the measurement study "Performance of
+// Cellular Networks on the Wheels" (ACM IMC 2023) as a deterministic
+// simulation: a cross-continental US drive (LA → Boston, 5,711 km) during
+// which three phones — one per major US carrier — run a round-robin of
+// bulk-TCP throughput tests, ICMP RTT tests, and four latency-critical
+// "5G killer" applications, while XCAL-style instruments log PHY KPIs and
+// control-plane signaling, and passive handover-logger phones record
+// coverage.
+//
+// The package is a facade over the internal substrates (geography, radio,
+// deployment, RAN, transport, logging, log synchronization, apps,
+// analysis). A Study is a pure function of its Config: the same seed
+// always reproduces the same dataset, tables, and figures.
+//
+// Quick use:
+//
+//	study, err := cellwheels.Run(cellwheels.Config{Seed: 42, LimitKm: 150})
+//	if err != nil { ... }
+//	fmt.Println(study.Report())
+package cellwheels
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/core"
+	"github.com/nuwins/cellwheels/internal/dataset"
+	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/stats"
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+// Config parameterizes a study. The zero value runs the paper's full
+// 8-day methodology over the whole route.
+type Config struct {
+	// Seed makes the study reproducible; equal configs with equal seeds
+	// produce identical datasets.
+	Seed int64
+	// LimitKm truncates the drive after this many kilometers; 0 means
+	// the full 5,711 km route. Small values make quick demos.
+	LimitKm float64
+	// SkipApps drops the four application workloads from the rotation.
+	SkipApps bool
+	// SkipStatic drops the per-city static baselines.
+	SkipStatic bool
+	// SkipPassive drops the passive handover-logger phones.
+	SkipPassive bool
+	// DisableEdge removes the Wavelength edge servers (ablation).
+	DisableEdge bool
+	// DisablePolicy serves every UE from the best deployed technology
+	// regardless of traffic (ablation of the elevation policy).
+	DisablePolicy bool
+	// VideoSeconds and GamingSeconds shorten the two long app tests;
+	// zero keeps the paper's durations (180 s and 90 s).
+	VideoSeconds  int
+	GamingSeconds int
+}
+
+func (c Config) internal() core.Config {
+	cfg := core.Config{
+		Seed:          c.Seed,
+		SkipApps:      c.SkipApps,
+		SkipStatic:    c.SkipStatic,
+		SkipPassive:   c.SkipPassive,
+		DisableEdge:   c.DisableEdge,
+		DisablePolicy: c.DisablePolicy,
+	}
+	if c.LimitKm > 0 {
+		cfg.Limit = unit.Meters(c.LimitKm) * unit.Kilometer
+	}
+	if c.VideoSeconds > 0 {
+		cfg.VideoDuration = time.Duration(c.VideoSeconds) * time.Second
+	}
+	if c.GamingSeconds > 0 {
+		cfg.GamingDuration = time.Duration(c.GamingSeconds) * time.Second
+	}
+	return cfg
+}
+
+// Study is a completed campaign: the consolidated dataset plus everything
+// needed to regenerate the paper's tables and figures.
+type Study struct {
+	db       *dataset.DB
+	route    *geo.Route
+	campaign *core.Campaign
+}
+
+// Run executes a campaign and consolidates its logs.
+func Run(cfg Config) (*Study, error) {
+	c := core.NewCampaign(cfg.internal())
+	db, err := c.RunAndMerge()
+	if err != nil {
+		return nil, fmt.Errorf("cellwheels: %w", err)
+	}
+	return &Study{db: db, route: c.Route(), campaign: c}, nil
+}
+
+// RunArchivingRaw executes a campaign like Run, additionally writing
+// every raw XCAL capture as a binary .drm container into dir — the raw
+// 388 GB log archive of the real study, in miniature. The files are
+// written before log synchronization, so the archive is exactly what the
+// instruments produced.
+func RunArchivingRaw(cfg Config, dir string) (*Study, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cellwheels: %w", err)
+	}
+	c := core.NewCampaign(cfg.internal())
+	raw := c.Run()
+	for _, f := range raw.Files {
+		out, err := os.Create(filepath.Join(dir, f.Name))
+		if err != nil {
+			return nil, fmt.Errorf("cellwheels: %w", err)
+		}
+		werr := f.WriteDRM(out)
+		cerr := out.Close()
+		if werr != nil {
+			return nil, fmt.Errorf("cellwheels: %w", werr)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("cellwheels: %w", cerr)
+		}
+	}
+	db, rep, err := c.Merge(raw)
+	if err != nil {
+		return nil, fmt.Errorf("cellwheels: %w", err)
+	}
+	if len(rep.UnmatchedFiles) > 0 {
+		return nil, fmt.Errorf("cellwheels: %d unmatched files after sync", len(rep.UnmatchedFiles))
+	}
+	return &Study{db: db, route: c.Route(), campaign: c}, nil
+}
+
+// WriteCoverageGeoJSON writes map-ready GeoJSON into dir: the route with
+// its cities, and one file per (operator, technology) with that
+// technology's coverage fragments. Only available on studies produced by
+// Run (the deployment ground truth does not survive JSON round trips).
+func (s *Study) WriteCoverageGeoJSON(dir string) error {
+	if s.campaign == nil {
+		return fmt.Errorf("cellwheels: coverage GeoJSON requires a freshly run study")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cellwheels: %w", err)
+	}
+	routeJSON, err := s.route.GeoJSON(0)
+	if err != nil {
+		return fmt.Errorf("cellwheels: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "route.geojson"), routeJSON, 0o644); err != nil {
+		return fmt.Errorf("cellwheels: %w", err)
+	}
+	for op, m := range s.campaign.Maps() {
+		for _, tech := range radio.Technologies() {
+			frags := m.Fragments(tech)
+			if len(frags) == 0 {
+				continue
+			}
+			segs := make([][2]unit.Meters, len(frags))
+			for i, f := range frags {
+				segs[i] = [2]unit.Meters{f.Start, f.End}
+			}
+			label := op.String() + " " + tech.String()
+			out, err := s.route.SegmentsGeoJSON(label, segs, 0)
+			if err != nil {
+				return fmt.Errorf("cellwheels: %w", err)
+			}
+			name := op.Short() + "-" + tech.String() + ".geojson"
+			if err := os.WriteFile(filepath.Join(dir, name), out, 0o644); err != nil {
+				return fmt.Errorf("cellwheels: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a dataset previously written with WriteJSON.
+func Load(r io.Reader) (*Study, error) {
+	db, err := dataset.ReadJSON(r)
+	if err != nil {
+		return nil, fmt.Errorf("cellwheels: %w", err)
+	}
+	return &Study{db: db, route: geo.DefaultRoute()}, nil
+}
+
+// WriteJSON serializes the full dataset.
+func (s *Study) WriteJSON(w io.Writer) error { return s.db.WriteJSON(w) }
+
+// WriteCSV writes the per-table CSV files into dir.
+func (s *Study) WriteCSV(dir string) error {
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("throughput.csv", s.db.WriteThroughputCSV); err != nil {
+		return err
+	}
+	if err := write("rtt.csv", s.db.WriteRTTCSV); err != nil {
+		return err
+	}
+	if err := write("handovers.csv", s.db.WriteHandoverCSV); err != nil {
+		return err
+	}
+	return write("appruns.csv", s.db.WriteAppRunCSV)
+}
+
+// MeasuredOokla renders the measured variant of Table 3: the crowd
+// column is simulated with the SpeedTest methodology (static users,
+// nearby servers, parallel flows) over this study's deployments, instead
+// of copied from the published Ookla report. Only available on studies
+// produced by Run (not Load); samples is per carrier.
+func (s *Study) MeasuredOokla(samples int) string {
+	if s.campaign == nil {
+		return "measured Ookla comparison requires a freshly run study"
+	}
+	crowd := s.campaign.MeasureSpeedtestCrowd(samples)
+	return core.TableOoklaMeasured(s.db, crowd).Render()
+}
+
+// Report renders every table and figure of the paper, in paper order.
+func (s *Study) Report() string {
+	maps := core.FigureCoverageMaps(s.db, s.route, 100)
+	return core.Report(s.db, maps)
+}
+
+// Section renders one table or figure by its paper identifier: "table1",
+// "table2", "table3", "table4", "table5", or "fig1" .. "fig16".
+// Unknown identifiers return an error.
+func (s *Study) Section(id string) (string, error) {
+	switch id {
+	case "table1":
+		return core.TableDatasetStats(s.db).Render(), nil
+	case "table2":
+		return core.TableKPICorrelation(s.db).Render(), nil
+	case "table3":
+		return core.TableOoklaComparison(s.db).Render(), nil
+	case "table4":
+		return core.TableAppConfigs(), nil
+	case "table5":
+		return core.TableMAP(), nil
+	case "fig1":
+		return core.FigureCoverageMaps(s.db, s.route, 100).Render(), nil
+	case "fig2":
+		return core.FigureCoverage(s.db).Render(), nil
+	case "fig3":
+		return core.FigureStaticVsDriving(s.db).Render(), nil
+	case "fig4":
+		return core.FigurePerTechnology(s.db).Render(), nil
+	case "fig5":
+		return core.FigureTimezone(s.db).Render(), nil
+	case "fig6":
+		return core.FigureOperatorDiversity(s.db).Render(), nil
+	case "fig7", "fig8":
+		return core.FigureSpeedScatter(s.db).Render(), nil
+	case "fig9":
+		return core.FigureLongTimescale(s.db).Render(), nil
+	case "fig10":
+		return core.FigureHighSpeed5GShare(s.db).Render(), nil
+	case "fig11":
+		return core.FigureHandoverStats(s.db).Render(), nil
+	case "fig12":
+		return core.FigureHandoverImpact(s.db).Render(), nil
+	case "fig13":
+		return core.FigureARApp(s.db).Render(), nil
+	case "fig14":
+		return core.FigureCAVApp(s.db).Render(), nil
+	case "fig15":
+		return core.FigureVideo(s.db).Render(), nil
+	case "fig16":
+		return core.FigureGaming(s.db).Render(), nil
+	case "multivariate":
+		return core.AnalyzeMultivariate(s.db).Render(), nil
+	default:
+		return "", fmt.Errorf("cellwheels: unknown section %q", id)
+	}
+}
+
+// SectionIDs lists the identifiers Section accepts, in paper order.
+func SectionIDs() []string {
+	return []string{
+		"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "table2", "fig9", "fig10", "table3",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"table4", "table5", "multivariate",
+	}
+}
+
+// CarrierSummary is one operator's headline numbers.
+type CarrierSummary struct {
+	Operator string
+	// Share5G is the fraction of driven miles served by any NR flavor.
+	Share5G float64
+	// ShareHighSpeed is the mid/mmWave share of driven miles.
+	ShareHighSpeed float64
+	// DrivingDLMedianMbps and friends are medians over 500 ms samples.
+	DrivingDLMedianMbps float64
+	DrivingULMedianMbps float64
+	DrivingRTTMedianMS  float64
+	// StaticDLMedianMbps is the city-baseline median.
+	StaticDLMedianMbps float64
+	// HandoversPerMileMedian is over downlink throughput tests.
+	HandoversPerMileMedian float64
+	// VideoQoEMedian and GamingBitrateMedian summarize two of the apps.
+	VideoQoEMedian      float64
+	GamingBitrateMedian float64
+}
+
+// Summary computes the study's headline numbers.
+type Summary struct {
+	RouteKm  float64
+	Tests    int
+	Samples  int
+	Carriers []CarrierSummary
+	// FracBelow5Mbps pools both directions' driving samples.
+	FracBelow5Mbps float64
+}
+
+// Summary extracts the headline numbers a quickstart would print.
+func (s *Study) Summary() Summary {
+	cov := core.FigureCoverage(s.db)
+	svd := core.FigureStaticVsDriving(s.db)
+	hos := core.FigureHandoverStats(s.db)
+	vid := core.FigureVideo(s.db)
+	game := core.FigureGaming(s.db)
+
+	out := Summary{
+		RouteKm: s.db.Meta.RouteKm,
+		Tests:   len(s.db.Tests),
+		Samples: len(s.db.Throughput) + len(s.db.RTT),
+	}
+	var all []float64
+	for _, smp := range s.db.Throughput {
+		if !smp.Static {
+			all = append(all, smp.Mbps)
+		}
+	}
+	out.FracBelow5Mbps = stats.NewCDF(all).FracBelow(5)
+
+	for _, op := range radio.Operators() {
+		cs := CarrierSummary{Operator: op.String()}
+		cs.Share5G = core.Share5G(cov.Overall[op])
+		cs.ShareHighSpeed = core.ShareHighSpeed(cov.Overall[op])
+		cs.DrivingDLMedianMbps = svd.ThroughputOf(op, radio.Downlink, false).Median
+		cs.DrivingULMedianMbps = svd.ThroughputOf(op, radio.Uplink, false).Median
+		cs.StaticDLMedianMbps = svd.ThroughputOf(op, radio.Downlink, true).Median
+		cs.DrivingRTTMedianMS = svd.RTTOf(op, false).Median
+		cs.HandoversPerMileMedian = hos.PerMileOf(op, radio.Downlink).Median
+		cs.VideoQoEMedian = vid.QoE[op].Median
+		cs.GamingBitrateMedian = game.Bitrate[op].Median
+		out.Carriers = append(out.Carriers, cs)
+	}
+	return out
+}
+
+// String renders the summary in a few lines.
+func (s Summary) String() string {
+	out := fmt.Sprintf("cellwheels study: %.0f km, %d tests, %d samples, %.0f%% of driving samples < 5 Mbps\n",
+		s.RouteKm, s.Tests, s.Samples, 100*s.FracBelow5Mbps)
+	for _, c := range s.Carriers {
+		out += fmt.Sprintf("  %-8s 5G %.0f%% (high-speed %.0f%%) | drive DL %.1f / UL %.1f Mbps, RTT %.1f ms | static DL %.1f | HO/mi %.1f | video QoE %.1f | gaming %.1f Mbps\n",
+			c.Operator, 100*c.Share5G, 100*c.ShareHighSpeed,
+			c.DrivingDLMedianMbps, c.DrivingULMedianMbps, c.DrivingRTTMedianMS,
+			c.StaticDLMedianMbps, c.HandoversPerMileMedian,
+			c.VideoQoEMedian, c.GamingBitrateMedian)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package cellwheels
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// facadeStudy caches one quick study for the facade tests.
+var facadeStudy *Study
+
+func quickStudy(t *testing.T) *Study {
+	t.Helper()
+	if facadeStudy != nil {
+		return facadeStudy
+	}
+	s, err := Run(Config{Seed: 5, LimitKm: 60, VideoSeconds: 30, GamingSeconds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	facadeStudy = s
+	return s
+}
+
+func TestRunAndSummary(t *testing.T) {
+	s := quickStudy(t)
+	sum := s.Summary()
+	if sum.Tests == 0 || sum.Samples == 0 {
+		t.Fatalf("empty summary: %+v", sum)
+	}
+	if len(sum.Carriers) != 3 {
+		t.Fatalf("carriers = %d", len(sum.Carriers))
+	}
+	for _, c := range sum.Carriers {
+		if c.DrivingDLMedianMbps <= 0 {
+			t.Errorf("%s: DL median %v", c.Operator, c.DrivingDLMedianMbps)
+		}
+		if c.DrivingRTTMedianMS <= 0 {
+			t.Errorf("%s: RTT median %v", c.Operator, c.DrivingRTTMedianMS)
+		}
+	}
+	out := sum.String()
+	for _, want := range []string{"Verizon", "T-Mobile", "AT&T", "km"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestSections(t *testing.T) {
+	s := quickStudy(t)
+	for _, id := range SectionIDs() {
+		out, err := s.Section(id)
+		if err != nil {
+			t.Errorf("section %s: %v", id, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("section %s empty", id)
+		}
+	}
+	if _, err := s.Section("fig99"); err == nil {
+		t.Error("unknown section accepted")
+	}
+}
+
+func TestReportContainsEverything(t *testing.T) {
+	s := quickStudy(t)
+	rep := s.Report()
+	for _, want := range []string{"Table 1", "Figure 16", "Table 5"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := quickStudy(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Summary().Tests != s.Summary().Tests {
+		t.Error("round trip changed test count")
+	}
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := quickStudy(t)
+	dir := t.TempDir()
+	if err := s.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"throughput.csv", "rtt.csv", "handovers.csv", "appruns.csv"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s empty", name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 9, LimitKm: 25, SkipApps: true, SkipStatic: true, SkipPassive: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary().String() != b.Summary().String() {
+		t.Error("same config+seed produced different summaries")
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	s, err := Run(Config{Seed: 3, LimitKm: 25, SkipApps: true, SkipStatic: true, SkipPassive: true, DisableEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Summary()
+	if sum.Tests == 0 {
+		t.Fatal("no tests")
+	}
+	for _, c := range sum.Carriers {
+		if c.VideoQoEMedian != 0 {
+			t.Error("video metric with SkipApps")
+		}
+	}
+}
+
+func TestRunArchivingRaw(t *testing.T) {
+	dir := t.TempDir()
+	s, err := RunArchivingRaw(Config{Seed: 6, LimitKm: 15, SkipApps: true, SkipStatic: true, SkipPassive: true}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no raw captures archived")
+	}
+	drm := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".drm") {
+			drm++
+		}
+	}
+	if drm != len(entries) {
+		t.Errorf("%d of %d files are .drm", drm, len(entries))
+	}
+	// The archived count matches the study's test count.
+	if got := s.Summary().Tests; got != drm {
+		t.Errorf("tests = %d, archived captures = %d", got, drm)
+	}
+}
+
+func TestWriteCoverageGeoJSON(t *testing.T) {
+	s := quickStudy(t)
+	dir := t.TempDir()
+	if err := s.WriteCoverageGeoJSON(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveRoute := false
+	geojson := 0
+	for _, e := range entries {
+		if e.Name() == "route.geojson" {
+			haveRoute = true
+		}
+		if strings.HasSuffix(e.Name(), ".geojson") {
+			geojson++
+		}
+	}
+	if !haveRoute {
+		t.Error("route.geojson missing")
+	}
+	// Route + at least one coverage layer per operator.
+	if geojson < 4 {
+		t.Errorf("only %d geojson files", geojson)
+	}
+	// Loaded studies cannot export coverage ground truth.
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteCoverageGeoJSON(t.TempDir()); err == nil {
+		t.Error("loaded study exported coverage GeoJSON")
+	}
+}

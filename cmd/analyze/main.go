@@ -1,0 +1,55 @@
+// Command analyze regenerates the paper's tables and figures from a
+// dataset written by drivetest.
+//
+// Usage:
+//
+//	analyze -in dataset.json              # full report, paper order
+//	analyze -in dataset.json -section fig2
+//	analyze -list                         # available section ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/nuwins/cellwheels"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "dataset.json", "dataset path (from drivetest)")
+		section = flag.String("section", "", "one section id (default: full report)")
+		list    = flag.Bool("list", false, "list section ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(cellwheels.SectionIDs(), "\n"))
+		return
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	study, err := cellwheels.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+
+	if *section == "" {
+		fmt.Print(study.Report())
+		return
+	}
+	out, err := study.Section(*section)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

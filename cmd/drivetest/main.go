@@ -1,0 +1,97 @@
+// Command drivetest runs a cellwheels measurement campaign and writes the
+// consolidated dataset, mirroring the paper's data-collection phase.
+//
+// Usage:
+//
+//	drivetest -seed 42 -out dataset.json [-limit-km 500] [-csv dir]
+//	          [-skip-apps] [-skip-static] [-skip-passive]
+//	          [-disable-edge] [-disable-policy]
+//
+// The full 5,711 km campaign takes on the order of a minute; use
+// -limit-km for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/nuwins/cellwheels"
+)
+
+func main() {
+	var (
+		seed          = flag.Int64("seed", 1, "campaign seed (same seed, same dataset)")
+		out           = flag.String("out", "dataset.json", "output dataset path")
+		csvDir        = flag.String("csv", "", "also write per-table CSVs into this directory")
+		rawDir        = flag.String("raw", "", "also archive the raw XCAL captures (.drm) into this directory")
+		geoDir        = flag.String("geojson", "", "also write route + coverage GeoJSON into this directory")
+		limitKm       = flag.Float64("limit-km", 0, "truncate the drive after this many km (0 = full route)")
+		skipApps      = flag.Bool("skip-apps", false, "skip the four application workloads")
+		skipStatic    = flag.Bool("skip-static", false, "skip per-city static baselines")
+		skipPassive   = flag.Bool("skip-passive", false, "skip the passive handover loggers")
+		disableEdge   = flag.Bool("disable-edge", false, "remove Wavelength edge servers (ablation)")
+		disablePolicy = flag.Bool("disable-policy", false, "always serve the best technology (ablation)")
+	)
+	flag.Parse()
+
+	cfg := cellwheels.Config{
+		Seed:          *seed,
+		LimitKm:       *limitKm,
+		SkipApps:      *skipApps,
+		SkipStatic:    *skipStatic,
+		SkipPassive:   *skipPassive,
+		DisableEdge:   *disableEdge,
+		DisablePolicy: *disablePolicy,
+	}
+	start := time.Now()
+	var study *cellwheels.Study
+	var err error
+	if *rawDir != "" {
+		study, err = cellwheels.RunArchivingRaw(cfg, *rawDir)
+	} else {
+		study, err = cellwheels.Run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drivetest:", err)
+		os.Exit(1)
+	}
+	if *rawDir != "" {
+		fmt.Fprintf(os.Stderr, "raw captures archived to %s/\n", *rawDir)
+	}
+	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprint(os.Stderr, study.Summary())
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drivetest:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := study.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "drivetest:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dataset written to %s\n", *out)
+
+	if *geoDir != "" {
+		if err := study.WriteCoverageGeoJSON(*geoDir); err != nil {
+			fmt.Fprintln(os.Stderr, "drivetest:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "GeoJSON written to %s/\n", *geoDir)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "drivetest:", err)
+			os.Exit(1)
+		}
+		if err := study.WriteCSV(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "drivetest:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "CSV tables written to %s/\n", *csvDir)
+	}
+}

@@ -1,0 +1,40 @@
+// Command wheelsreport runs a campaign and prints the full paper-style
+// report in one shot — the tool EXPERIMENTS.md's numbers come from.
+//
+// Usage:
+//
+//	wheelsreport -seed 1                 # full 5,711 km campaign
+//	wheelsreport -seed 1 -limit-km 800   # quicker partial run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/nuwins/cellwheels"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		limitKm = flag.Float64("limit-km", 0, "truncate the drive (0 = full route)")
+		crowd   = flag.Int("crowd", 0, "also simulate this many Ookla-style static crowd samples per carrier (measured Table 3)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	study, err := cellwheels.Run(cellwheels.Config{Seed: *seed, LimitKm: *limitKm})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wheelsreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(study.Summary())
+	fmt.Println()
+	fmt.Print(study.Report())
+	if *crowd > 0 {
+		fmt.Println(study.MeasuredOokla(*crowd))
+	}
+}

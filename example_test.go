@@ -1,0 +1,52 @@
+package cellwheels_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/nuwins/cellwheels"
+)
+
+// Example runs a tiny slice of the campaign and prints how many of the
+// paper's section identifiers the study can render. Real uses pass a
+// larger LimitKm (or zero for the whole route) and print Report().
+func Example() {
+	study, err := cellwheels.Run(cellwheels.Config{
+		Seed:        1,
+		LimitKm:     10,
+		SkipApps:    true,
+		SkipStatic:  true,
+		SkipPassive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rendered := 0
+	for _, id := range cellwheels.SectionIDs() {
+		if _, err := study.Section(id); err == nil {
+			rendered++
+		}
+	}
+	fmt.Printf("%d sections rendered\n", rendered)
+	// Output: 22 sections rendered
+}
+
+// ExampleStudy_Section renders one figure by its paper identifier.
+func ExampleStudy_Section() {
+	study, err := cellwheels.Run(cellwheels.Config{
+		Seed:        1,
+		LimitKm:     10,
+		SkipApps:    true,
+		SkipStatic:  true,
+		SkipPassive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := study.Section("table2"); err != nil {
+		log.Fatal(err)
+	}
+	_, err = study.Section("fig99")
+	fmt.Println(err)
+	// Output: cellwheels: unknown section "fig99"
+}

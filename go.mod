@@ -1,0 +1,3 @@
+module github.com/nuwins/cellwheels
+
+go 1.22

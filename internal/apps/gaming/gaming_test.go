@@ -1,0 +1,125 @@
+package gaming
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/simrand"
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+const tick = 50 * time.Millisecond
+
+func runConstant(seed int64, dl unit.BitRate, rtt time.Duration) Result {
+	s := NewSession(DefaultConfig(), simrand.New(seed))
+	for !s.Done() {
+		s.Step(tick, dl, rtt)
+	}
+	return s.Result()
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.MaxBitrateMbps != 100 {
+		t.Errorf("max bitrate = %v, want Steam's 100 (§E.1)", c.MaxBitrateMbps)
+	}
+	if c.FPS != 60 {
+		t.Errorf("FPS = %v, want 60", c.FPS)
+	}
+}
+
+func TestFastLinkApproachesStaticBaseline(t *testing.T) {
+	// §7.3: best static run sends ≈98.5 Mbps with ≈0.5% drops and low
+	// latency.
+	res := runConstant(1, 500*unit.Mbps, 15*time.Millisecond)
+	if res.MedianSendBitrate < 90 {
+		t.Errorf("send bitrate = %v, want ≈98", res.MedianSendBitrate)
+	}
+	if res.FrameDropFrac > 0.01 {
+		t.Errorf("drop frac = %v, want ≈0.005", res.FrameDropFrac)
+	}
+	if res.MeanNetLatencyMS < 15 || res.MeanNetLatencyMS > 50 {
+		t.Errorf("latency = %v ms", res.MeanNetLatencyMS)
+	}
+}
+
+func TestAdapterNeverExceedsCeiling(t *testing.T) {
+	s := NewSession(DefaultConfig(), simrand.New(2))
+	for !s.Done() {
+		s.Step(tick, 2*unit.Gbps, 10*time.Millisecond)
+		if s.rate > DefaultConfig().MaxBitrateMbps+1e-9 {
+			t.Fatalf("rate %v above ceiling", s.rate)
+		}
+	}
+}
+
+func TestSlowLinkAdaptsDown(t *testing.T) {
+	res := runConstant(3, 20*unit.Mbps, 60*time.Millisecond)
+	if res.MedianSendBitrate > 20 {
+		t.Errorf("send bitrate %v above capacity", res.MedianSendBitrate)
+	}
+	if res.MedianSendBitrate < 5 {
+		t.Errorf("send bitrate %v over-conservative", res.MedianSendBitrate)
+	}
+	// Adapting down protects the frame rate (§7.3 observation 2).
+	if res.FrameDropFrac > 0.1 {
+		t.Errorf("drop frac = %v", res.FrameDropFrac)
+	}
+}
+
+func TestCapacityCollapseDropsFramesAndInflatesLatency(t *testing.T) {
+	s := NewSession(DefaultConfig(), simrand.New(4))
+	for i := 0; !s.Done(); i++ {
+		dl := 80 * unit.Mbps
+		if (i/100)%4 == 3 { // periodic 5 s collapses
+			dl = 500 * unit.Kbps
+		}
+		s.Step(tick, dl, 50*time.Millisecond)
+	}
+	res := s.Result()
+	if res.FrameDropFrac <= 0.005 {
+		t.Errorf("drop frac = %v, want visible drops", res.FrameDropFrac)
+	}
+	if res.MaxNetLatencyMS < 150 {
+		t.Errorf("max latency = %v ms, want inflation during collapse", res.MaxNetLatencyMS)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	res := runConstant(5, 0, 50*time.Millisecond)
+	if res.FrameDropFrac < 0.5 {
+		t.Errorf("drop frac on dead link = %v", res.FrameDropFrac)
+	}
+	if res.MeanNetLatencyMS < 500 {
+		t.Errorf("latency on dead link = %v ms", res.MeanNetLatencyMS)
+	}
+}
+
+func TestDropFracBounded(t *testing.T) {
+	for _, seed := range []int64{6, 7, 8} {
+		res := runConstant(seed, 3*unit.Mbps, 80*time.Millisecond)
+		if res.FrameDropFrac < 0 || res.FrameDropFrac > 1 {
+			t.Errorf("drop frac = %v outside [0,1]", res.FrameDropFrac)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := runConstant(42, 40*unit.Mbps, 60*time.Millisecond)
+	b := runConstant(42, 40*unit.Mbps, 60*time.Millisecond)
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestDoneStopsStepping(t *testing.T) {
+	s := NewSession(DefaultConfig(), simrand.New(9))
+	for !s.Done() {
+		s.Step(tick, 50*unit.Mbps, 40*time.Millisecond)
+	}
+	before := s.Result()
+	s.Step(tick, 50*unit.Mbps, 40*time.Millisecond)
+	if got := s.Result(); got != before {
+		t.Error("result changed after Done")
+	}
+}

@@ -1,0 +1,257 @@
+// Package offload implements the paper's canonical edge-assisted AR/CAV
+// benchmark app (§7.1, §C): an uplink-centric client that offloads camera
+// frames or LIDAR point clouds to a GPU server for DNN-based object
+// detection, in a best-effort manner — when one offload completes, the
+// next available frame is taken.
+//
+// The configuration constants are Table 4 verbatim; the object-detection
+// accuracy model is Table 5 verbatim (mAP as a function of end-to-end
+// latency in frame times, with and without lossy compression, measured on
+// Argoverse with Faster R-CNN plus on-device local tracking).
+package offload
+
+import (
+	"math"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/simrand"
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+// Config describes one offloading app, per Table 4.
+type Config struct {
+	Name            string
+	FPS             float64    // incoming frame rate
+	RawBytes        unit.Bytes // uncompressed frame size
+	CompressedBytes unit.Bytes
+	CompressMS      float64 // frame compression time
+	InferenceMS     float64 // server inference time (A100)
+	DecompressMS    float64
+	RunDuration     time.Duration
+	HasMAP          bool // AR estimates detection accuracy; CAV does not
+}
+
+// ARConfig is Table 4's AR column.
+func ARConfig() Config {
+	return Config{
+		Name: "AR", FPS: 30,
+		RawBytes: 450 * unit.KB, CompressedBytes: 50 * unit.KB,
+		CompressMS: 6.3, InferenceMS: 24.9, DecompressMS: 1.0,
+		RunDuration: 20 * time.Second, HasMAP: true,
+	}
+}
+
+// CAVConfig is Table 4's CAV column.
+func CAVConfig() Config {
+	return Config{
+		Name: "CAV", FPS: 10,
+		RawBytes: 2000 * unit.KB, CompressedBytes: 38 * unit.KB,
+		CompressMS: 34.8, InferenceMS: 44.0, DecompressMS: 19.1,
+		RunDuration: 20 * time.Second, HasMAP: false,
+	}
+}
+
+// FrameMS is the frame interval in milliseconds.
+func (c Config) FrameMS() float64 { return 1000 / c.FPS }
+
+// FrameBytes reports the on-the-wire frame size.
+func (c Config) FrameBytes(compressed bool) unit.Bytes {
+	if compressed {
+		return c.CompressedBytes
+	}
+	return c.RawBytes
+}
+
+// mapTable is Table 5: object detection accuracy (mAP, %) by E2E latency
+// bin in frame times; columns are without/with compression.
+var mapTable = [][2]float64{
+	{38.45, 38.45}, {37.22, 36.14}, {36.04, 34.75}, {34.65, 33.12},
+	{33.36, 31.82}, {32.20, 30.50}, {31.08, 29.53}, {28.03, 26.99},
+	{27.01, 25.73}, {25.62, 25.21}, {25.77, 24.35}, {23.29, 22.44},
+	{22.75, 21.56}, {22.48, 21.64}, {21.59, 21.16}, {20.59, 20.35},
+	{20.11, 19.69}, {19.53, 18.95}, {18.40, 17.61}, {18.01, 17.85},
+	{17.52, 17.00}, {16.96, 16.55}, {16.59, 15.97}, {15.41, 15.16},
+	{15.78, 14.94}, {15.86, 15.37}, {14.81, 14.71}, {14.70, 13.77},
+	{14.44, 13.62}, {14.05, 13.70},
+}
+
+// MAPBins reports the number of latency bins in Table 5.
+func MAPBins() int { return len(mapTable) }
+
+// MAPForBin reports Table 5's accuracy for a latency bin index, clamped
+// to the table range.
+func MAPForBin(bin int, compressed bool) float64 {
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(mapTable) {
+		bin = len(mapTable) - 1
+	}
+	if compressed {
+		return mapTable[bin][1]
+	}
+	return mapTable[bin][0]
+}
+
+// MAPFor estimates detection accuracy for an E2E latency given the app's
+// frame interval, per §C.2: accuracy is constant within each whole-frame
+// latency bin.
+func MAPFor(e2eMS, frameMS float64, compressed bool) float64 {
+	if frameMS <= 0 {
+		return MAPForBin(len(mapTable)-1, compressed)
+	}
+	return MAPForBin(int(e2eMS/frameMS), compressed)
+}
+
+// Result summarizes one 20 s run.
+type Result struct {
+	FramesOffloaded int
+	MeanE2EMS       float64
+	OffloadFPS      float64
+	MAP             float64 // mean over offloaded frames; 0 if !HasMAP
+}
+
+// phase is the runner's pipeline stage.
+type phase int
+
+const (
+	waitFrame phase = iota
+	compressing
+	uploading
+	serving // inference + result return + decompression
+)
+
+// Runner executes one offloading run over a stepped uplink. The pipeline
+// advances continuously within each simulation tick, so phases far
+// shorter than the tick (compression, inference) keep exact timing.
+type Runner struct {
+	cfg        Config
+	compressed bool
+	rng        *simrand.Source
+
+	elapsedMS float64
+	phase     phase
+	phaseLeft float64 // ms remaining in timed phases
+	bytesLeft float64 // uploading
+	frameAt   float64 // ms timestamp when current frame was captured
+	sent      float64 // total bytes uploaded
+
+	e2es []float64
+}
+
+// NewRunner starts a run.
+func NewRunner(cfg Config, compressed bool, rng *simrand.Source) *Runner {
+	return &Runner{cfg: cfg, compressed: compressed, rng: rng.Fork("offload/" + cfg.Name)}
+}
+
+// Done reports whether the run duration has elapsed.
+func (r *Runner) Done() bool {
+	return r.elapsedMS >= float64(r.cfg.RunDuration)/float64(time.Millisecond)
+}
+
+// Step advances the run by dt given the instantaneous uplink capacity and
+// base network RTT, both treated as constant within the tick.
+func (r *Runner) Step(dt time.Duration, ul unit.BitRate, baseRTT time.Duration) {
+	if r.Done() {
+		return
+	}
+	remain := float64(dt) / float64(time.Millisecond)
+	ulBytesPerMS := float64(ul) / 8 / 1000
+
+	for remain > 1e-9 && !r.Done() {
+		switch r.phase {
+		case waitFrame:
+			fi := r.cfg.FrameMS()
+			next := math.Ceil(r.elapsedMS/fi) * fi
+			if next <= r.elapsedMS {
+				next = r.elapsedMS
+			}
+			wait := next - r.elapsedMS
+			if wait > remain {
+				r.elapsedMS += remain
+				return
+			}
+			r.elapsedMS = next
+			remain -= wait
+			r.frameAt = next
+			if r.compressed {
+				r.phase = compressing
+				r.phaseLeft = r.cfg.CompressMS
+			} else {
+				r.phase = uploading
+				r.bytesLeft = float64(r.cfg.FrameBytes(false))
+			}
+		case compressing:
+			take := math.Min(r.phaseLeft, remain)
+			r.phaseLeft -= take
+			r.elapsedMS += take
+			remain -= take
+			if r.phaseLeft <= 1e-9 {
+				r.phase = uploading
+				r.bytesLeft = float64(r.cfg.FrameBytes(true))
+			}
+		case uploading:
+			if ulBytesPerMS <= 0 {
+				// No uplink this tick; the upload stalls.
+				r.elapsedMS += remain
+				return
+			}
+			need := r.bytesLeft / ulBytesPerMS
+			take := math.Min(need, remain)
+			r.bytesLeft -= ulBytesPerMS * take
+			r.sent += ulBytesPerMS * take
+			r.elapsedMS += take
+			remain -= take
+			if r.bytesLeft <= 1e-9 {
+				// Inference, result return over the network RTT, then
+				// local decompression of the result if the frame was
+				// compressed.
+				r.phase = serving
+				r.phaseLeft = r.cfg.InferenceMS + unit.Milliseconds(baseRTT)
+				if r.compressed {
+					r.phaseLeft += r.cfg.DecompressMS
+				}
+			}
+		case serving:
+			take := math.Min(r.phaseLeft, remain)
+			r.phaseLeft -= take
+			r.elapsedMS += take
+			remain -= take
+			if r.phaseLeft <= 1e-9 {
+				e2e := r.elapsedMS - r.frameAt
+				if e2e < 1 {
+					e2e = 1
+				}
+				r.e2es = append(r.e2es, e2e)
+				r.phase = waitFrame
+			}
+		}
+	}
+}
+
+// BytesSent reports the total bytes uploaded so far.
+func (r *Runner) BytesSent() unit.Bytes { return unit.Bytes(r.sent) }
+
+// Result computes the run summary.
+func (r *Runner) Result() Result {
+	res := Result{FramesOffloaded: len(r.e2es)}
+	if len(r.e2es) == 0 {
+		if r.cfg.HasMAP {
+			res.MAP = 0
+		}
+		return res
+	}
+	var sum, mapSum float64
+	for _, e := range r.e2es {
+		sum += e
+		if r.cfg.HasMAP {
+			mapSum += MAPFor(e, r.cfg.FrameMS(), r.compressed)
+		}
+	}
+	res.MeanE2EMS = sum / float64(len(r.e2es))
+	res.OffloadFPS = float64(len(r.e2es)) / r.cfg.RunDuration.Seconds()
+	if r.cfg.HasMAP {
+		res.MAP = mapSum / float64(len(r.e2es))
+	}
+	return res
+}

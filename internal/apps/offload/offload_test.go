@@ -1,0 +1,185 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/simrand"
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+const tick = 50 * time.Millisecond
+
+// runConstant executes a full run over a constant link.
+func runConstant(cfg Config, compressed bool, ul unit.BitRate, rtt time.Duration) Result {
+	r := NewRunner(cfg, compressed, simrand.New(1))
+	for !r.Done() {
+		r.Step(tick, ul, rtt)
+	}
+	return r.Result()
+}
+
+func TestConfigsMatchTable4(t *testing.T) {
+	ar := ARConfig()
+	if ar.FPS != 30 || ar.RawBytes != 450*unit.KB || ar.CompressedBytes != 50*unit.KB {
+		t.Errorf("AR config = %+v", ar)
+	}
+	if ar.CompressMS != 6.3 || ar.InferenceMS != 24.9 || ar.DecompressMS != 1.0 {
+		t.Errorf("AR times = %+v", ar)
+	}
+	cav := CAVConfig()
+	if cav.FPS != 10 || cav.RawBytes != 2000*unit.KB || cav.CompressedBytes != 38*unit.KB {
+		t.Errorf("CAV config = %+v", cav)
+	}
+	if cav.CompressMS != 34.8 || cav.InferenceMS != 44.0 || cav.DecompressMS != 19.1 {
+		t.Errorf("CAV times = %+v", cav)
+	}
+	if ar.RunDuration != 20*time.Second || cav.RunDuration != 20*time.Second {
+		t.Error("run durations wrong")
+	}
+	if !ar.HasMAP || cav.HasMAP {
+		t.Error("MAP flags wrong")
+	}
+}
+
+func TestFrameMS(t *testing.T) {
+	if got := ARConfig().FrameMS(); got != 1000.0/30 {
+		t.Errorf("AR frame interval = %v", got)
+	}
+	if got := CAVConfig().FrameMS(); got != 100 {
+		t.Errorf("CAV frame interval = %v", got)
+	}
+}
+
+func TestMAPTableMatchesTable5(t *testing.T) {
+	if MAPBins() != 30 {
+		t.Fatalf("bins = %d, want 30", MAPBins())
+	}
+	// Spot-check values straight from Table 5.
+	if MAPForBin(0, false) != 38.45 || MAPForBin(0, true) != 38.45 {
+		t.Error("bin 0 wrong")
+	}
+	if MAPForBin(6, false) != 31.08 || MAPForBin(6, true) != 29.53 {
+		t.Error("bin 6 wrong")
+	}
+	if MAPForBin(29, false) != 14.05 || MAPForBin(29, true) != 13.70 {
+		t.Error("bin 29 wrong")
+	}
+	// Clamping.
+	if MAPForBin(-1, false) != 38.45 || MAPForBin(99, false) != 14.05 {
+		t.Error("clamp wrong")
+	}
+}
+
+func TestMAPMostlyDecreasesWithLatency(t *testing.T) {
+	// Table 5 is not perfectly monotone (bins 9/10, 23/24), but across
+	// any 3-bin gap accuracy falls.
+	for b := 0; b+3 < MAPBins(); b++ {
+		if MAPForBin(b+3, true) >= MAPForBin(b, true) {
+			t.Errorf("mAP did not fall from bin %d to %d", b, b+3)
+		}
+	}
+}
+
+func TestMAPForBinning(t *testing.T) {
+	fm := ARConfig().FrameMS() // 33.3 ms
+	if got := MAPFor(10, fm, false); got != 38.45 {
+		t.Errorf("MAPFor(10ms) = %v", got)
+	}
+	if got := MAPFor(214, fm, true); got != MAPForBin(6, true) {
+		t.Errorf("MAPFor(214ms) = %v, want bin 6 value %v", got, MAPForBin(6, true))
+	}
+}
+
+func TestARGoodLinkApproachesStaticBaseline(t *testing.T) {
+	// §7.1.1: best static scenario gives E2E ≈68 ms, ≈12.5 FPS, mAP ≈36.5.
+	res := runConstant(ARConfig(), true, 167*unit.Mbps, 25*time.Millisecond)
+	if res.MeanE2EMS < 40 || res.MeanE2EMS > 100 {
+		t.Errorf("static-like AR E2E = %v ms, want ≈68", res.MeanE2EMS)
+	}
+	if res.OffloadFPS < 8 || res.OffloadFPS > 18 {
+		t.Errorf("static-like AR FPS = %v, want ≈12.5", res.OffloadFPS)
+	}
+	if res.MAP < 33 || res.MAP > 38.45 {
+		t.Errorf("static-like AR mAP = %v, want ≈36.5", res.MAP)
+	}
+}
+
+func TestARBadLinkDegrades(t *testing.T) {
+	good := runConstant(ARConfig(), true, 100*unit.Mbps, 25*time.Millisecond)
+	bad := runConstant(ARConfig(), true, 2*unit.Mbps, 80*time.Millisecond)
+	if bad.MeanE2EMS <= good.MeanE2EMS {
+		t.Error("bad link did not raise E2E")
+	}
+	if bad.OffloadFPS >= good.OffloadFPS {
+		t.Error("bad link did not lower FPS")
+	}
+	if bad.MAP >= good.MAP {
+		t.Error("bad link did not lower mAP")
+	}
+}
+
+func TestCompressionHelpsOnSlowLinks(t *testing.T) {
+	// §7.1.2: compression cuts CAV median E2E by ~8×.
+	raw := runConstant(CAVConfig(), false, 10*unit.Mbps, 50*time.Millisecond)
+	comp := runConstant(CAVConfig(), true, 10*unit.Mbps, 50*time.Millisecond)
+	if comp.MeanE2EMS >= raw.MeanE2EMS/3 {
+		t.Errorf("compression: %v ms vs raw %v ms; want large reduction", comp.MeanE2EMS, raw.MeanE2EMS)
+	}
+	if comp.FramesOffloaded <= raw.FramesOffloaded {
+		t.Error("compression did not increase offloaded frames")
+	}
+}
+
+func TestCAVCannotReach100msE2E(t *testing.T) {
+	// §7.1.2 finding 1: even compressed on a fine link, compression +
+	// inference + decompression alone nearly exhaust the 100 ms budget.
+	res := runConstant(CAVConfig(), true, 200*unit.Mbps, 15*time.Millisecond)
+	if res.MeanE2EMS < 100 {
+		t.Errorf("CAV E2E = %v ms; the paper argues <100 ms is unreachable", res.MeanE2EMS)
+	}
+}
+
+func TestZeroCapacityOffloadsNothing(t *testing.T) {
+	res := runConstant(ARConfig(), true, 0, 25*time.Millisecond)
+	if res.FramesOffloaded != 0 {
+		t.Errorf("offloaded %d frames with zero uplink", res.FramesOffloaded)
+	}
+	if res.OffloadFPS != 0 || res.MeanE2EMS != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestRunnerDoneStopsStepping(t *testing.T) {
+	r := NewRunner(ARConfig(), true, simrand.New(2))
+	for !r.Done() {
+		r.Step(tick, 50*unit.Mbps, 30*time.Millisecond)
+	}
+	before := r.Result().FramesOffloaded
+	r.Step(tick, 50*unit.Mbps, 30*time.Millisecond)
+	if r.Result().FramesOffloaded != before {
+		t.Error("stepping after Done changed the result")
+	}
+}
+
+func TestCAVNoMAP(t *testing.T) {
+	res := runConstant(CAVConfig(), true, 50*unit.Mbps, 30*time.Millisecond)
+	if res.MAP != 0 {
+		t.Errorf("CAV reported mAP %v", res.MAP)
+	}
+	if res.FramesOffloaded == 0 {
+		t.Error("CAV offloaded nothing on a good link")
+	}
+}
+
+func TestE2EAlwaysPositive(t *testing.T) {
+	r := NewRunner(ARConfig(), true, simrand.New(3))
+	for !r.Done() {
+		r.Step(tick, 500*unit.Mbps, time.Millisecond)
+	}
+	for _, e := range r.e2es {
+		if e <= 0 {
+			t.Fatalf("non-positive E2E %v", e)
+		}
+	}
+}

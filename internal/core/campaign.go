@@ -1,0 +1,403 @@
+// Package core is the paper's primary contribution in executable form:
+// the drive-test measurement campaign (§3's methodology — three carriers
+// measured simultaneously through a round-robin of throughput, RTT, and
+// application tests, with XCAL-style cross-layer logging, passive
+// handover-logger phones, per-city static baselines, and edge/cloud server
+// selection) and the full analysis suite that regenerates every table and
+// figure of the evaluation.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/apps/gaming"
+	"github.com/nuwins/cellwheels/internal/apps/offload"
+	"github.com/nuwins/cellwheels/internal/apps/video"
+	"github.com/nuwins/cellwheels/internal/cloud"
+	"github.com/nuwins/cellwheels/internal/dataset"
+	"github.com/nuwins/cellwheels/internal/deploy"
+	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/logsync"
+	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/ran"
+	"github.com/nuwins/cellwheels/internal/simrand"
+	"github.com/nuwins/cellwheels/internal/transport"
+	"github.com/nuwins/cellwheels/internal/unit"
+	"github.com/nuwins/cellwheels/internal/xcal"
+)
+
+// Tick is the simulation step.
+const Tick = 50 * time.Millisecond
+
+// Config parameterizes a campaign. The zero value (plus a seed) runs the
+// paper's full methodology over the full route.
+type Config struct {
+	Seed  int64
+	Drive geo.DriveConfig
+
+	// Limit truncates the trip after this driven distance. Zero means
+	// the full route. Tests and benches use small limits.
+	Limit unit.Meters
+
+	// Durations of the individual tests; zero values take the paper's.
+	ThroughputDuration time.Duration // 30 s (§5)
+	RTTDuration        time.Duration // 20 s (§5)
+	VideoDuration      time.Duration // 3 min (§D.1)
+	GamingDuration     time.Duration // 90 s
+	TestGap            time.Duration // idle gap between tests
+
+	// Apps disables the four application workloads when false is
+	// requested via SkipApps (kept inverted so the zero value runs all).
+	SkipApps bool
+	// SkipStatic disables the per-city static baselines.
+	SkipStatic bool
+	// SkipPassive disables the handover-logger phones.
+	SkipPassive bool
+	// DisableEdge removes the Wavelength servers (ablation).
+	DisableEdge bool
+	// DisablePolicy makes the elevation policy always pick the best
+	// available technology regardless of traffic (ablation for the
+	// passive-vs-active coverage finding).
+	DisablePolicy bool
+
+	// Transport tunes the TCP path model (bufferbloat ablation).
+	Transport transport.Options
+
+	// Operators to measure; nil means all three.
+	Operators []radio.Operator
+}
+
+func (c *Config) applyDefaults() {
+	if c.ThroughputDuration <= 0 {
+		c.ThroughputDuration = 30 * time.Second
+	}
+	if c.RTTDuration <= 0 {
+		c.RTTDuration = 20 * time.Second
+	}
+	if c.VideoDuration <= 0 {
+		c.VideoDuration = 3 * time.Minute
+	}
+	if c.GamingDuration <= 0 {
+		c.GamingDuration = 90 * time.Second
+	}
+	if c.TestGap <= 0 {
+		c.TestGap = 5 * time.Second
+	}
+	if len(c.Operators) == 0 {
+		c.Operators = radio.Operators()
+	}
+}
+
+// testSpec is one rotation slot.
+type testSpec struct {
+	kind       dataset.TestKind
+	compressed bool // AR/CAV compression variant
+}
+
+// rotation builds the round-robin schedule of §3.
+func (c Config) rotation() []testSpec {
+	specs := []testSpec{
+		{kind: dataset.ThroughputDL},
+		{kind: dataset.ThroughputUL},
+		{kind: dataset.RTTTest},
+	}
+	if !c.SkipApps {
+		specs = append(specs,
+			testSpec{kind: dataset.AppAR, compressed: true},
+			testSpec{kind: dataset.AppAR, compressed: false},
+			testSpec{kind: dataset.AppCAV, compressed: true},
+			testSpec{kind: dataset.AppCAV, compressed: false},
+			testSpec{kind: dataset.AppVideo},
+			testSpec{kind: dataset.AppGaming},
+		)
+	}
+	return specs
+}
+
+func (c Config) testDuration(k dataset.TestKind) time.Duration {
+	switch k {
+	case dataset.ThroughputDL, dataset.ThroughputUL:
+		return c.ThroughputDuration
+	case dataset.RTTTest:
+		return c.RTTDuration
+	case dataset.AppVideo:
+		return c.VideoDuration
+	case dataset.AppGaming:
+		return c.GamingDuration
+	default:
+		return offload.ARConfig().RunDuration
+	}
+}
+
+// phone is one active measurement handset (UE + XCAL Solo + test app).
+type phone struct {
+	op    radio.Operator
+	ue    *ran.UE
+	rec   *xcal.Recorder
+	rng   *simrand.Source
+	fleet []cloud.Server
+
+	// rotation state
+	specs   []testSpec
+	specIdx int
+	gapLeft time.Duration
+
+	// current test state
+	inTest    bool
+	spec      testSpec
+	testLeft  time.Duration
+	testStart time.Time
+	static    bool
+	server    cloud.Server
+	appLog    logsync.AppLog
+
+	flow      *transport.Flow
+	pinger    *transport.Pinger
+	offRun    *offload.Runner
+	vidRun    *video.Session
+	gameRun   *gaming.Session
+	prevApp   unit.Bytes
+	hoSeen    int
+	testTime  time.Duration // cumulative test runtime (Table 1)
+	testsDone int
+
+	files []xcal.File
+	apps  []logsync.AppLog
+
+	bytesRx unit.Bytes
+	bytesTx unit.Bytes
+}
+
+// Raw is the campaign's unmerged output: exactly what the instruments
+// produced, before logsync reconstructs the database.
+type Raw struct {
+	Files  []xcal.File
+	Apps   []logsync.AppLog
+	Logger map[string][]xcal.LoggerRow
+	Meta   dataset.Meta
+	// PassiveHandovers counts the handover-logger phones' events, which
+	// is what Table 1 reports.
+	PassiveHandovers map[string]int
+}
+
+// Campaign is a configured, runnable measurement campaign.
+type Campaign struct {
+	cfg    Config
+	route  *geo.Route
+	maps   map[radio.Operator]*deploy.Map
+	fleet  []cloud.Server
+	phones []*phone
+	logger map[radio.Operator]*xcal.HandoverLogger
+	drive  *geo.Drive
+	rng    *simrand.Source
+}
+
+// NewCampaign builds the testbed for a config.
+func NewCampaign(cfg Config) *Campaign {
+	cfg.applyDefaults()
+	route := geo.DefaultRoute()
+	rng := simrand.New(cfg.Seed)
+
+	fleet := cloud.Fleet()
+	if cfg.DisableEdge {
+		var clouds []cloud.Server
+		for _, s := range fleet {
+			if s.Kind == cloud.Cloud {
+				clouds = append(clouds, s)
+			}
+		}
+		fleet = clouds
+	}
+
+	c := &Campaign{
+		cfg:    cfg,
+		route:  route,
+		maps:   map[radio.Operator]*deploy.Map{},
+		fleet:  fleet,
+		logger: map[radio.Operator]*xcal.HandoverLogger{},
+		drive:  geo.NewDrive(route, cfg.Drive, rng),
+		rng:    rng,
+	}
+	for _, op := range cfg.Operators {
+		m := deploy.NewMap(op, route, rng)
+		c.maps[op] = m
+		p := &phone{
+			op:    op,
+			ue:    ran.NewUE(ran.UEConfig{Op: op, Map: m, ForceBest: cfg.DisablePolicy}, rng.Fork("active")),
+			rec:   xcal.NewRecorder(op),
+			rng:   rng.Fork("phone/" + op.Short()),
+			fleet: fleet,
+			specs: cfg.rotation(),
+		}
+		p.gapLeft = cfg.TestGap
+		c.phones = append(c.phones, p)
+		if !cfg.SkipPassive {
+			c.logger[op] = xcal.NewHandoverLogger(ran.UEConfig{Op: op, Map: m, ForceBest: cfg.DisablePolicy}, rng)
+		}
+	}
+	return c
+}
+
+// Run executes the campaign and returns the raw logs.
+func (c *Campaign) Run() Raw {
+	staticDone := map[string]bool{}
+	limit := c.cfg.Limit
+	if limit <= 0 || limit > c.route.Total() {
+		limit = c.route.Total()
+	}
+
+	for {
+		ds := c.drive.Step(Tick)
+		c.tickAll(ds)
+
+		// Static baseline battery on first arrival in each major city.
+		wp := ds.Waypoint
+		if !c.cfg.SkipStatic && wp.Region == geo.Urban && wp.CityDistance < 8*unit.Kilometer && !staticDone[wp.City] {
+			staticDone[wp.City] = true
+			c.runStaticBattery()
+		}
+
+		if ds.Done || ds.Odometer >= limit {
+			break
+		}
+	}
+	// Close any files still open at trip end.
+	for _, p := range c.phones {
+		if p.rec.Recording() {
+			p.finishTest(c.drive.State())
+		}
+	}
+	return c.collect()
+}
+
+// tickAll advances every phone and passive logger one tick.
+func (c *Campaign) tickAll(ds geo.DriveState) {
+	for _, p := range c.phones {
+		p.tick(c, ds)
+	}
+	for _, l := range c.logger {
+		l.Step(ds.Time, ds.Waypoint, ds.Speed.MPH(), Tick)
+	}
+}
+
+// runStaticBattery holds the vehicle and runs one full rotation of tests
+// marked static, mirroring the paper's per-city baselines. Carriers
+// without high-speed 5G at the spot are skipped, as the paper skipped
+// operator-city combinations without mmWave/midband connectivity.
+func (c *Campaign) runStaticBattery() {
+	var active []*phone
+	for _, p := range c.phones {
+		avail := c.maps[p.op].AvailableWithin(c.drive.State().Odometer, 12*unit.Kilometer)
+		if avail.Has(radio.NRMmWave) || avail.Has(radio.NRMid) {
+			if p.rec.Recording() {
+				p.finishTest(c.drive.State())
+			}
+			p.static = true
+			p.ue.SetStaticMode(true)
+			p.specIdx = 0
+			p.gapLeft = c.cfg.TestGap
+			active = append(active, p)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	// Run until every active phone completes one full rotation, with a
+	// generous tick budget as a backstop.
+	want := map[*phone]int{}
+	for _, p := range active {
+		want[p] = p.testsDone + len(p.specs)
+	}
+	maxTicks := int((2 * time.Hour) / Tick)
+	for i := 0; i < maxTicks; i++ {
+		ds := c.drive.Hold(Tick)
+		c.tickAll(ds)
+		done := true
+		for _, p := range active {
+			if p.testsDone < want[p] {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for _, p := range active {
+		if p.rec.Recording() {
+			p.finishTest(c.drive.State())
+		}
+		p.static = false
+		p.ue.SetStaticMode(false)
+	}
+}
+
+// collect gathers the raw outputs and meta accounting.
+func (c *Campaign) collect() Raw {
+	raw := Raw{
+		Logger:           map[string][]xcal.LoggerRow{},
+		PassiveHandovers: map[string]int{},
+		Meta: dataset.Meta{
+			Seed:          c.cfg.Seed,
+			RouteKm:       c.drive.State().Odometer.Km(),
+			Days:          c.drive.State().Day + 1,
+			Start:         c.cfg.Drive.StartUTC,
+			RuntimeByOp:   map[string]time.Duration{},
+			UniqueCells:   map[string]int{},
+			HandoverTotal: map[string]int{},
+		},
+	}
+	for _, p := range c.phones {
+		raw.Files = append(raw.Files, p.files...)
+		raw.Apps = append(raw.Apps, p.apps...)
+		raw.Meta.BytesRx += p.bytesRx
+		raw.Meta.BytesTx += p.bytesTx
+		raw.Meta.RuntimeByOp[p.op.String()] = p.testTime
+		raw.Meta.UniqueCells[p.op.String()] = p.ue.UniqueCells()
+	}
+	for op, l := range c.logger {
+		raw.Logger[op.Short()] = l.Rows()
+		raw.PassiveHandovers[op.String()] = len(l.UE.Handovers())
+		raw.Meta.HandoverTotal[op.String()] = len(l.UE.Handovers())
+	}
+	return raw
+}
+
+// Merge reconstructs the consolidated database from raw logs.
+func (c *Campaign) Merge(raw Raw) (*dataset.DB, logsync.Report, error) {
+	return logsync.Merge(logsync.Input{
+		Route:  c.route,
+		Files:  raw.Files,
+		Apps:   raw.Apps,
+		Logger: raw.Logger,
+		Meta:   raw.Meta,
+	})
+}
+
+// RunAndMerge is the common path: execute and consolidate.
+func (c *Campaign) RunAndMerge() (*dataset.DB, error) {
+	raw := c.Run()
+	db, rep, err := c.Merge(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.UnmatchedFiles) > 0 {
+		return nil, fmt.Errorf("core: %d XCAL files unmatched after sync: %v", len(rep.UnmatchedFiles), rep.UnmatchedFiles[:min(3, len(rep.UnmatchedFiles))])
+	}
+	return db, nil
+}
+
+// Maps exposes the generated deployments (for examples and coverage
+// analysis that needs ground truth).
+func (c *Campaign) Maps() map[radio.Operator]*deploy.Map { return c.maps }
+
+// Route exposes the campaign route.
+func (c *Campaign) Route() *geo.Route { return c.route }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

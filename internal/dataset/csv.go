@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteThroughputCSV writes the throughput table.
+func (db *DB) WriteThroughputCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"test_id", "time_utc", "operator", "direction", "mbps", "tech",
+		"rsrp_dbm", "sinr_db", "mcs", "cc", "bler", "load", "speed_mph",
+		"odometer_km", "timezone", "region", "handovers", "cell_id", "edge", "static",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range db.Throughput {
+		rec := []string{
+			strconv.Itoa(s.TestID),
+			s.Time.UTC().Format(time.RFC3339Nano),
+			s.Op.String(),
+			s.Dir.String(),
+			f(s.Mbps),
+			s.Tech.String(),
+			f(s.RSRP),
+			f(s.SINR),
+			strconv.Itoa(s.MCS),
+			strconv.Itoa(s.CC),
+			f(s.BLER),
+			f(s.Load),
+			f(s.SpeedMPH),
+			f(s.Odometer.Km()),
+			s.Timezone.String(),
+			s.Region.String(),
+			strconv.Itoa(s.Handovers),
+			s.CellID,
+			b(s.Edge),
+			b(s.Static),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRTTCSV writes the RTT table.
+func (db *DB) WriteRTTCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"test_id", "time_utc", "operator", "rtt_ms", "lost", "tech",
+		"speed_mph", "odometer_km", "timezone", "edge", "static",
+	}); err != nil {
+		return err
+	}
+	for _, s := range db.RTT {
+		if err := cw.Write([]string{
+			strconv.Itoa(s.TestID),
+			s.Time.UTC().Format(time.RFC3339Nano),
+			s.Op.String(),
+			f(s.RTTMS),
+			b(s.Lost),
+			s.Tech.String(),
+			f(s.SpeedMPH),
+			f(s.Odometer.Km()),
+			s.Timezone.String(),
+			b(s.Edge),
+			b(s.Static),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHandoverCSV writes the handover table.
+func (db *DB) WriteHandoverCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"test_id", "time_utc", "operator", "duration_ms", "from_tech", "to_tech", "odometer_km",
+	}); err != nil {
+		return err
+	}
+	for _, h := range db.Handovers {
+		if err := cw.Write([]string{
+			strconv.Itoa(h.TestID),
+			h.Time.UTC().Format(time.RFC3339Nano),
+			h.Op.String(),
+			f(h.DurationMS),
+			h.FromTech.String(),
+			h.ToTech.String(),
+			f(h.Odometer.Km()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAppRunCSV writes the application-run table.
+func (db *DB) WriteAppRunCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"test_id", "kind", "operator", "start_utc", "compressed",
+		"e2e_ms", "offload_fps", "map", "qoe", "avg_bitrate_mbps", "rebuffer_frac",
+		"send_bitrate_mbps", "net_latency_ms", "frame_drop_frac",
+		"highspeed_frac", "edge", "handovers", "static",
+	}); err != nil {
+		return err
+	}
+	for _, r := range db.AppRuns {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.TestID),
+			r.Kind.String(),
+			r.Op.String(),
+			r.Start.UTC().Format(time.RFC3339Nano),
+			b(r.Compressed),
+			f(r.E2EMS), f(r.OffloadFPS), f(r.MAP),
+			f(r.QoE), f(r.AvgBitrate), f(r.RebufferFrac),
+			f(r.SendBitrate), f(r.NetLatencyMS), f(r.FrameDropFrac),
+			f(r.HighSpeedFrac), b(r.Edge), strconv.Itoa(r.Handovers), b(r.Static),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+func b(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+// String summarizes the database for logs.
+func (db *DB) String() string {
+	return fmt.Sprintf("dataset{tests=%d tput=%d rtt=%d ho=%d apps=%d passive=%d}",
+		len(db.Tests), len(db.Throughput), len(db.RTT), len(db.Handovers), len(db.AppRuns), len(db.Passive))
+}

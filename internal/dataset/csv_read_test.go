@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestThroughputCSVRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := db.WriteThroughputCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadThroughputCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(db.Throughput) {
+		t.Fatalf("rows = %d, want %d", len(back), len(db.Throughput))
+	}
+	for i := range back {
+		a, b := back[i], db.Throughput[i]
+		// Times must match to nanosecond; everything else exactly.
+		if !a.Time.Equal(b.Time) {
+			t.Errorf("row %d: time %v vs %v", i, a.Time, b.Time)
+		}
+		a.Time = b.Time
+		if a != b {
+			t.Errorf("row %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestRTTCSVRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := db.WriteRTTCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRTTCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(db.RTT) {
+		t.Fatalf("rows = %d", len(back))
+	}
+	for i := range back {
+		a, b := back[i], db.RTT[i]
+		if !a.Time.Equal(b.Time) {
+			t.Errorf("row %d time", i)
+		}
+		a.Time = b.Time
+		if a != b {
+			t.Errorf("row %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestHandoverCSVRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := db.WriteHandoverCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadHandoverCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("rows = %d", len(back))
+	}
+	a, b := back[0], db.Handovers[0]
+	if !a.Time.Equal(b.Time) {
+		t.Error("time mismatch")
+	}
+	a.Time = b.Time
+	if a != b {
+		t.Errorf("%+v != %+v", a, b)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		call func(string) error
+	}{
+		{"empty", "", func(in string) error {
+			_, err := ReadThroughputCSV(strings.NewReader(in))
+			return err
+		}},
+		{"bad float", "h" + strings.Repeat(",h", 19) + "\n1,2022-08-08T16:00:00Z,Verizon,DL,notafloat,LTE,0,0,0,1,0,0,0,0,Pacific,urban,0,c,0,0\n", func(in string) error {
+			_, err := ReadThroughputCSV(strings.NewReader(in))
+			return err
+		}},
+		{"bad op", "h" + strings.Repeat(",h", 10) + "\n1,2022-08-08T16:00:00Z,Sprint,1,0,LTE,0,0,Pacific,0,0\n", func(in string) error {
+			_, err := ReadRTTCSV(strings.NewReader(in))
+			return err
+		}},
+		{"bad tech", "h" + strings.Repeat(",h", 6) + "\n1,2022-08-08T16:00:00Z,Verizon,53,6G,LTE,0\n", func(in string) error {
+			_, err := ReadHandoverCSV(strings.NewReader(in))
+			return err
+		}},
+		{"wrong cols", "a,b\n1,2\n", func(in string) error {
+			_, err := ReadThroughputCSV(strings.NewReader(in))
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if err := c.call(c.in); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadCSVErrorMentionsLocation(t *testing.T) {
+	in := "h" + strings.Repeat(",h", 10) + "\n1,2022-08-08T16:00:00Z,Verizon,xx,0,LTE,0,0,Pacific,0,0\n"
+	_, err := ReadRTTCSV(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q lacks line number", err)
+	}
+}

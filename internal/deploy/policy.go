@@ -1,0 +1,120 @@
+package deploy
+
+import (
+	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/simrand"
+)
+
+// Traffic is the offered-traffic profile the elevation policy reacts to.
+type Traffic int
+
+// Traffic profiles. Idle corresponds to the handover-logger phones'
+// 38-byte ICMP keepalives; the heavy profiles correspond to backlogged
+// nuttcp transfers and the apps.
+const (
+	Idle Traffic = iota
+	HeavyDL
+	HeavyUL
+)
+
+// String implements fmt.Stringer.
+func (t Traffic) String() string {
+	switch t {
+	case HeavyDL:
+		return "heavy-dl"
+	case HeavyUL:
+		return "heavy-ul"
+	default:
+		return "idle"
+	}
+}
+
+// ChooseTech applies the operator's service-elevation policy: given the
+// technologies deployed at the UE's position and the offered traffic,
+// which one serves?
+//
+// The shapes implemented here come straight from the paper's findings:
+//
+//   - Heavy downlink traffic is always elevated to the best deployed
+//     technology (operators "are more willing to upgrade UEs to
+//     high-speed 5G in the presence of heavy downlink traffic", §4.2).
+//   - Heavy uplink traffic is elevated reluctantly: mmWave and midband
+//     are chosen with operator-specific probabilities, otherwise the UE
+//     is held on 5G-low or LTE/LTE-A (§4.2, Fig 2b).
+//   - Idle UEs mostly stay on 4G. AT&T never elevates an idle UE (the
+//     handover-logger saw only LTE/LTE-A on AT&T, Fig 1d); T-Mobile
+//     elevates idle UEs in the eastern half of the country but not the
+//     western half (Figs 1c vs 1f); Verizon rarely elevates (Fig 1b).
+func ChooseTech(op radio.Operator, avail TechSet, traffic Traffic, z geo.Timezone, rng *simrand.Source) radio.Technology {
+	switch traffic {
+	case HeavyDL:
+		return avail.Best()
+	case HeavyUL:
+		return chooseUplink(op, avail, rng)
+	default:
+		return chooseIdle(op, avail, z, rng)
+	}
+}
+
+// chooseUplink walks down the technology ladder, keeping each high-speed
+// tier with an operator-specific probability.
+func chooseUplink(op radio.Operator, avail TechSet, rng *simrand.Source) radio.Technology {
+	keepMM := map[radio.Operator]float64{radio.Verizon: 0.30, radio.TMobile: 0.45, radio.ATT: 0.15}[op]
+	keepMid := map[radio.Operator]float64{radio.Verizon: 0.50, radio.TMobile: 0.75, radio.ATT: 0.35}[op]
+	keepLow := map[radio.Operator]float64{radio.Verizon: 0.60, radio.TMobile: 0.80, radio.ATT: 0.50}[op]
+
+	if avail.Has(radio.NRMmWave) && rng.Bool(keepMM) {
+		return radio.NRMmWave
+	}
+	if avail.Has(radio.NRMid) && rng.Bool(keepMid) {
+		return radio.NRMid
+	}
+	if avail.Has(radio.NRLow) && rng.Bool(keepLow) {
+		return radio.NRLow
+	}
+	if avail.Has(radio.LTEA) {
+		return radio.LTEA
+	}
+	return radio.LTE
+}
+
+// chooseIdle models the conservative elevation the paper's passive
+// logging exposed.
+func chooseIdle(op radio.Operator, avail TechSet, z geo.Timezone, rng *simrand.Source) radio.Technology {
+	switch op {
+	case radio.ATT:
+		// Never elevated while idle.
+	case radio.TMobile:
+		elevate := 0.10
+		if z == geo.Central || z == geo.Eastern {
+			elevate = 0.75
+		}
+		if rng.Bool(elevate) {
+			if avail.Has(radio.NRMid) {
+				return radio.NRMid
+			}
+			if avail.Has(radio.NRLow) {
+				return radio.NRLow
+			}
+		}
+	default: // Verizon
+		if avail.Has(radio.NRMid) && rng.Bool(0.06) {
+			return radio.NRMid
+		}
+		if avail.Has(radio.NRLow) && rng.Bool(0.15) {
+			return radio.NRLow
+		}
+	}
+	if avail.Has(radio.LTEA) {
+		return radio.LTEA
+	}
+	return radio.LTE
+}
+
+// StickyRetainProb is the probability that a UE whose traffic just turned
+// idle keeps its previously elevated technology for a while instead of
+// immediately re-running the idle policy. This is what puts the few
+// near-stationary mmWave points on the paper's RTT-vs-speed plots (Fig 8):
+// a ping test launched right after a backlogged test can inherit mmWave.
+const StickyRetainProb = 0.5

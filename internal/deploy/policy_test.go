@@ -1,0 +1,151 @@
+package deploy
+
+import (
+	"testing"
+
+	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/simrand"
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+func fullSet() TechSet {
+	var s TechSet
+	for _, t := range radio.Technologies() {
+		s = s.With(t)
+	}
+	return s
+}
+
+func TestTrafficStrings(t *testing.T) {
+	if Idle.String() != "idle" || HeavyDL.String() != "heavy-dl" || HeavyUL.String() != "heavy-ul" {
+		t.Error("traffic strings wrong")
+	}
+}
+
+func TestHeavyDLAlwaysBest(t *testing.T) {
+	rng := simrand.New(1).Fork("policy")
+	for _, op := range radio.Operators() {
+		for i := 0; i < 100; i++ {
+			got := ChooseTech(op, fullSet(), HeavyDL, geo.Central, rng)
+			if got != radio.NRMmWave {
+				t.Fatalf("%v: HeavyDL chose %v with mmWave available", op, got)
+			}
+		}
+	}
+	// Without 5G, best 4G wins.
+	s := TechSet(0).With(radio.LTE).With(radio.LTEA)
+	if got := ChooseTech(radio.Verizon, s, HeavyDL, geo.Central, rng); got != radio.LTEA {
+		t.Errorf("HeavyDL on 4G-only chose %v", got)
+	}
+}
+
+// techFreq samples the policy many times and reports per-tech frequency.
+func techFreq(op radio.Operator, s TechSet, tr Traffic, z geo.Timezone, seed int64) map[radio.Technology]float64 {
+	rng := simrand.New(seed).Fork("freq")
+	const n = 5000
+	counts := map[radio.Technology]int{}
+	for i := 0; i < n; i++ {
+		counts[ChooseTech(op, s, tr, z, rng)]++
+	}
+	out := map[radio.Technology]float64{}
+	for k, c := range counts {
+		out[k] = float64(c) / n
+	}
+	return out
+}
+
+func TestHeavyULPrefersLowerTiers(t *testing.T) {
+	// With everything available, the uplink high-speed share must be well
+	// below the downlink's 100% (§4.2, Fig 2b) for every operator.
+	for _, op := range radio.Operators() {
+		f := techFreq(op, fullSet(), HeavyUL, geo.Central, 2)
+		hs := f[radio.NRMmWave] + f[radio.NRMid]
+		if hs >= 0.9 {
+			t.Errorf("%v: uplink high-speed share = %.2f, want < 0.9", op, hs)
+		}
+		if hs <= 0.05 {
+			t.Errorf("%v: uplink high-speed share = %.2f; should sometimes elevate", op, hs)
+		}
+	}
+	// T-Mobile is the most willing to elevate uplink traffic.
+	tm := techFreq(radio.TMobile, fullSet(), HeavyUL, geo.Central, 3)
+	at := techFreq(radio.ATT, fullSet(), HeavyUL, geo.Central, 3)
+	if tm[radio.NRMmWave]+tm[radio.NRMid] <= at[radio.NRMmWave]+at[radio.NRMid] {
+		t.Error("T-Mobile uplink elevation not above AT&T's")
+	}
+}
+
+func TestIdleATTNever5G(t *testing.T) {
+	f := techFreq(radio.ATT, fullSet(), Idle, geo.Eastern, 4)
+	for _, tech := range []radio.Technology{radio.NRLow, radio.NRMid, radio.NRMmWave} {
+		if f[tech] > 0 {
+			t.Errorf("AT&T idle elevated to %v with frequency %v", tech, f[tech])
+		}
+	}
+	if f[radio.LTEA] == 0 {
+		t.Error("AT&T idle never used LTE-A")
+	}
+}
+
+func TestIdleTMobileEastWestSplit(t *testing.T) {
+	// Fig 1c vs 1f: passive and active T-Mobile coverage agree in the
+	// east but diverge in the west.
+	east := techFreq(radio.TMobile, fullSet(), Idle, geo.Eastern, 5)
+	west := techFreq(radio.TMobile, fullSet(), Idle, geo.Pacific, 5)
+	e5 := east[radio.NRLow] + east[radio.NRMid] + east[radio.NRMmWave]
+	w5 := west[radio.NRLow] + west[radio.NRMid] + west[radio.NRMmWave]
+	if e5 < 0.5 {
+		t.Errorf("T-Mobile idle east 5G share = %.2f, want majority", e5)
+	}
+	if w5 > 0.3 {
+		t.Errorf("T-Mobile idle west 5G share = %.2f, want minority", w5)
+	}
+}
+
+func TestIdleVerizonMostly4G(t *testing.T) {
+	f := techFreq(radio.Verizon, fullSet(), Idle, geo.Central, 6)
+	g5 := f[radio.NRLow] + f[radio.NRMid] + f[radio.NRMmWave]
+	if g5 > 0.35 {
+		t.Errorf("Verizon idle 5G share = %.2f, want small", g5)
+	}
+	if f[radio.NRMmWave] > 0 {
+		t.Error("Verizon idle elevated to mmWave")
+	}
+}
+
+func TestIdleFallbackWithoutLTEA(t *testing.T) {
+	rng := simrand.New(7).Fork("fb")
+	s := TechSet(0).With(radio.LTE)
+	for _, op := range radio.Operators() {
+		if got := ChooseTech(op, s, Idle, geo.Mountain, rng); got != radio.LTE {
+			t.Errorf("%v: LTE-only idle chose %v", op, got)
+		}
+	}
+}
+
+func TestPolicyCoverageInteraction(t *testing.T) {
+	// End to end: the passive view of a T-Mobile deployment in the west
+	// shows far less 5G than the active view — the paper's Fig 1 lesson.
+	m := NewMap(radio.TMobile, geo.DefaultRoute(), simrand.New(11))
+	rng := simrand.New(12).Fork("interact")
+	route := geo.DefaultRoute()
+
+	activeHS, passiveHS := 0, 0
+	for odo := unit.Meters(0); odo < 1500*unit.Kilometer; odo += 2 * unit.Kilometer { // western half
+		wp := route.At(odo)
+		avail := m.Available(odo)
+		if ChooseTech(radio.TMobile, avail, HeavyDL, wp.Timezone, rng).Is5G() {
+			activeHS++
+		}
+		if ChooseTech(radio.TMobile, avail, Idle, wp.Timezone, rng).Is5G() {
+			passiveHS++
+		}
+	}
+	if activeHS == 0 {
+		t.Fatal("active probing saw no 5G at all")
+	}
+	if float64(passiveHS) > 0.5*float64(activeHS) {
+		t.Errorf("passive 5G %d not well below active %d in the west", passiveHS, activeHS)
+	}
+}

@@ -1,0 +1,111 @@
+package geo
+
+import (
+	"encoding/json"
+
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+// GeoJSON rendering of the route, for dropping the study onto a real
+// map. The output is a FeatureCollection with one LineString for the
+// route (sampled at the given step) and one Point per major city.
+
+// geoJSONFeature is a minimal GeoJSON feature.
+type geoJSONFeature struct {
+	Type       string          `json:"type"`
+	Properties map[string]any  `json:"properties"`
+	Geometry   geoJSONGeometry `json:"geometry"`
+}
+
+type geoJSONGeometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+type geoJSONCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+// GeoJSON renders the route as a GeoJSON FeatureCollection. step
+// controls the polyline sampling; zero means 10 km.
+func (r *Route) GeoJSON(step unit.Meters) ([]byte, error) {
+	if step <= 0 {
+		step = 10 * unit.Kilometer
+	}
+	var line [][2]float64
+	for odo := unit.Meters(0); ; odo += step {
+		clamped := odo
+		if clamped > r.Total() {
+			clamped = r.Total()
+		}
+		wp := r.At(clamped)
+		line = append(line, [2]float64{wp.Loc.Lon, wp.Loc.Lat})
+		if clamped == r.Total() {
+			break
+		}
+	}
+	fc := geoJSONCollection{
+		Type: "FeatureCollection",
+		Features: []geoJSONFeature{{
+			Type: "Feature",
+			Properties: map[string]any{
+				"name":    "LA-Boston drive route",
+				"road_km": r.Total().Km(),
+			},
+			Geometry: geoJSONGeometry{Type: "LineString", Coordinates: line},
+		}},
+	}
+	for _, c := range r.Cities() {
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type: "Feature",
+			Properties: map[string]any{
+				"name": c.Name,
+				"edge": c.HasEdge,
+			},
+			Geometry: geoJSONGeometry{
+				Type:        "Point",
+				Coordinates: [2]float64{c.Loc.Lon, c.Loc.Lat},
+			},
+		})
+	}
+	return json.MarshalIndent(fc, "", "  ")
+}
+
+// SegmentsGeoJSON renders labelled odometer intervals (e.g. one
+// operator's coverage fragments for one technology) as a
+// MultiLineString FeatureCollection. Each segment is a [start, end)
+// odometer pair with a label carried into the feature properties.
+func (r *Route) SegmentsGeoJSON(label string, segments [][2]unit.Meters, step unit.Meters) ([]byte, error) {
+	if step <= 0 {
+		step = 5 * unit.Kilometer
+	}
+	var features []geoJSONFeature
+	for _, seg := range segments {
+		var line [][2]float64
+		for odo := seg[0]; ; odo += step {
+			clamped := odo
+			if clamped > seg[1] {
+				clamped = seg[1]
+			}
+			wp := r.At(clamped)
+			line = append(line, [2]float64{wp.Loc.Lon, wp.Loc.Lat})
+			if clamped == seg[1] {
+				break
+			}
+		}
+		if len(line) < 2 {
+			continue
+		}
+		features = append(features, geoJSONFeature{
+			Type: "Feature",
+			Properties: map[string]any{
+				"label":    label,
+				"start_km": seg[0].Km(),
+				"end_km":   seg[1].Km(),
+			},
+			Geometry: geoJSONGeometry{Type: "LineString", Coordinates: line},
+		})
+	}
+	return json.MarshalIndent(geoJSONCollection{Type: "FeatureCollection", Features: features}, "", "  ")
+}

@@ -1,0 +1,114 @@
+package geo
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+func TestRouteGeoJSON(t *testing.T) {
+	r := DefaultRoute()
+	out, err := r.GeoJSON(100 * unit.Kilometer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type       string         `json:"type"`
+			Properties map[string]any `json:"properties"`
+			Geometry   struct {
+				Type        string          `json:"type"`
+				Coordinates json.RawMessage `json:"coordinates"`
+			} `json:"geometry"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(out, &fc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		t.Errorf("type = %q", fc.Type)
+	}
+	// One route line + 10 city points.
+	if len(fc.Features) != 11 {
+		t.Fatalf("features = %d, want 11", len(fc.Features))
+	}
+	if fc.Features[0].Geometry.Type != "LineString" {
+		t.Errorf("first feature = %q", fc.Features[0].Geometry.Type)
+	}
+	var line [][2]float64
+	if err := json.Unmarshal(fc.Features[0].Geometry.Coordinates, &line); err != nil {
+		t.Fatal(err)
+	}
+	if len(line) < 50 {
+		t.Errorf("polyline has %d points", len(line))
+	}
+	// GeoJSON is lon,lat: first point is LA.
+	if got := line[0]; got[0] > -118 || got[1] < 33 || got[1] > 35 {
+		t.Errorf("first point = %v, want ≈(-118.24, 34.05)", got)
+	}
+	edges := 0
+	for _, f := range fc.Features[1:] {
+		if f.Geometry.Type != "Point" {
+			t.Errorf("city feature type %q", f.Geometry.Type)
+		}
+		if e, ok := f.Properties["edge"].(bool); ok && e {
+			edges++
+		}
+	}
+	if edges != 5 {
+		t.Errorf("edge cities = %d", edges)
+	}
+}
+
+func TestSegmentsGeoJSON(t *testing.T) {
+	r := DefaultRoute()
+	segs := [][2]unit.Meters{
+		{100 * unit.Kilometer, 160 * unit.Kilometer},
+		{2000 * unit.Kilometer, 2010 * unit.Kilometer},
+	}
+	out, err := r.SegmentsGeoJSON("T 5G-mid", segs, 5*unit.Kilometer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Features []struct {
+			Properties map[string]any `json:"properties"`
+			Geometry   struct {
+				Type string `json:"type"`
+			} `json:"geometry"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(out, &fc); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Features) != 2 {
+		t.Fatalf("features = %d", len(fc.Features))
+	}
+	for _, f := range fc.Features {
+		if f.Properties["label"] != "T 5G-mid" {
+			t.Errorf("label = %v", f.Properties["label"])
+		}
+		if f.Geometry.Type != "LineString" {
+			t.Errorf("geometry = %q", f.Geometry.Type)
+		}
+	}
+}
+
+func TestSegmentsGeoJSONSkipsDegenerate(t *testing.T) {
+	r := DefaultRoute()
+	out, err := r.SegmentsGeoJSON("x", [][2]unit.Meters{{500, 500}}, unit.Kilometer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Features []json.RawMessage `json:"features"`
+	}
+	if err := json.Unmarshal(out, &fc); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Features) != 0 {
+		t.Errorf("degenerate segment produced %d features", len(fc.Features))
+	}
+}

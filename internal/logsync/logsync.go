@@ -1,0 +1,464 @@
+// Package logsync is the reproduction of the paper's "sophisticated
+// software" for challenge C2 (§3, §B): it reconciles logs whose
+// timestamps come in three inconsistent formats — XCAL file names stamped
+// in the vehicle's local time, XCAL file contents stamped in fixed EDT,
+// and application logs stamped either in UTC or in naive local time —
+// across the four timezones the trip crosses, matches each application
+// log to its XCAL capture, and emits the consolidated database the
+// analysis runs on.
+//
+// The matcher never sees test identifiers: like the real pipeline, it has
+// only operator, test label, and timestamps to go on. Matching a file
+// name means trying each of the four candidate timezones and accepting
+// the interpretation that lines up with an application log of the same
+// operator and kind.
+package logsync
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/dataset"
+	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/unit"
+	"github.com/nuwins/cellwheels/internal/xcal"
+)
+
+// StampKind says how an application log rendered its start timestamp.
+type StampKind int
+
+// Stamp kinds.
+const (
+	// StampUTC is RFC3339 in UTC.
+	StampUTC StampKind = iota
+	// StampLocalNaive is xcal.LoggerFormat local time with a separate
+	// zone-name column.
+	StampLocalNaive
+)
+
+// RTTEntry is one echo result inside an RTT application log, stored as an
+// offset from the test start.
+type RTTEntry struct {
+	OffsetMS float64
+	RTTMS    float64
+	Lost     bool
+}
+
+// AppLog is one application-side test log.
+type AppLog struct {
+	Op         string // operator short code ("V", "T", "A")
+	Kind       string // file label: DL, UL, RTT, AR, CAV, VID, GAME
+	Server     string
+	Edge       bool
+	Static     bool
+	Compressed bool
+
+	StartStamp  string
+	Stamp       StampKind
+	Zone        string // zone name for StampLocalNaive
+	DurationSec float64
+
+	RTTs    []RTTEntry
+	Metrics map[string]float64
+}
+
+// StartUTC resolves the log's start instant.
+func (l AppLog) StartUTC() (time.Time, error) {
+	switch l.Stamp {
+	case StampUTC:
+		t, err := time.Parse(time.RFC3339Nano, l.StartStamp)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("logsync: utc stamp %q: %w", l.StartStamp, err)
+		}
+		return t.UTC(), nil
+	default:
+		z, ok := zoneByName(l.Zone)
+		if !ok {
+			return time.Time{}, fmt.Errorf("logsync: unknown zone %q", l.Zone)
+		}
+		t, err := time.ParseInLocation(xcal.LoggerFormat, l.StartStamp, z.Location())
+		if err != nil {
+			return time.Time{}, fmt.Errorf("logsync: local stamp %q: %w", l.StartStamp, err)
+		}
+		return t.UTC(), nil
+	}
+}
+
+func zoneByName(name string) (geo.Timezone, bool) {
+	for z := geo.Pacific; z <= geo.Eastern; z++ {
+		if z.String() == name {
+			return z, true
+		}
+	}
+	return geo.Pacific, false
+}
+
+// kindByLabel maps file labels to test kinds.
+var kindByLabel = map[string]dataset.TestKind{
+	"DL":   dataset.ThroughputDL,
+	"UL":   dataset.ThroughputUL,
+	"RTT":  dataset.RTTTest,
+	"AR":   dataset.AppAR,
+	"CAV":  dataset.AppCAV,
+	"VID":  dataset.AppVideo,
+	"GAME": dataset.AppGaming,
+}
+
+// LabelOf renders a test kind as its file label.
+func LabelOf(k dataset.TestKind) string {
+	for l, kk := range kindByLabel {
+		if kk == k {
+			return l
+		}
+	}
+	return "?"
+}
+
+// ParseContentTime parses an XCAL content timestamp (fixed EDT) to UTC.
+func ParseContentTime(s string) (time.Time, error) {
+	t, err := time.ParseInLocation(xcal.ContentFormat, s, xcal.EDT)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("logsync: content time %q: %w", s, err)
+	}
+	return t.UTC(), nil
+}
+
+// parsedName is the decomposition of an XCAL file name.
+type parsedName struct {
+	op    radio.Operator
+	label string
+	naive time.Time // wall-clock with unknown zone
+}
+
+// parseFileName decomposes "<OP>_<label>_<stamp>.drm".
+func parseFileName(name string) (parsedName, error) {
+	base := strings.TrimSuffix(name, ".drm")
+	parts := strings.Split(base, "_")
+	if len(parts) != 4 {
+		return parsedName{}, fmt.Errorf("logsync: malformed file name %q", name)
+	}
+	op, ok := radio.ParseOperatorShort(parts[0])
+	if !ok {
+		return parsedName{}, fmt.Errorf("logsync: unknown operator in %q", name)
+	}
+	if _, ok := kindByLabel[parts[1]]; !ok {
+		return parsedName{}, fmt.Errorf("logsync: unknown label in %q", name)
+	}
+	naive, err := time.Parse(xcal.FileNameFormat, parts[2]+"_"+parts[3])
+	if err != nil {
+		return parsedName{}, fmt.Errorf("logsync: stamp in %q: %w", name, err)
+	}
+	return parsedName{op: op, label: parts[1], naive: naive}, nil
+}
+
+// matchTolerance is the maximum skew accepted between a file-name stamp
+// (under some zone interpretation) and an app log's start.
+const matchTolerance = 3 * time.Second
+
+// resolveFileStart tries all four timezones and reports the UTC
+// interpretations of a naive file-name stamp.
+func resolveFileStart(naive time.Time) [4]time.Time {
+	var out [4]time.Time
+	for z := geo.Pacific; z <= geo.Eastern; z++ {
+		out[z] = time.Date(naive.Year(), naive.Month(), naive.Day(),
+			naive.Hour(), naive.Minute(), naive.Second(), naive.Nanosecond(),
+			z.Location()).UTC()
+	}
+	return out
+}
+
+// Input bundles everything Merge consumes.
+type Input struct {
+	Route  *geo.Route
+	Files  []xcal.File
+	Apps   []AppLog
+	Logger map[string][]xcal.LoggerRow // passive rows keyed by operator short code
+	Meta   dataset.Meta
+}
+
+// Report describes merge quality for diagnostics and tests.
+type Report struct {
+	Matched        int
+	UnmatchedFiles []string
+	UnmatchedApps  int
+}
+
+// Merge reconciles the raw logs into the consolidated database.
+func Merge(in Input) (*dataset.DB, Report, error) {
+	if in.Route == nil {
+		return nil, Report{}, fmt.Errorf("logsync: nil route")
+	}
+	db := &dataset.DB{Meta: in.Meta}
+	rep := Report{}
+
+	usedApps := make([]bool, len(in.Apps))
+	appStarts := make([]time.Time, len(in.Apps))
+	for i, a := range in.Apps {
+		t, err := a.StartUTC()
+		if err != nil {
+			return nil, rep, err
+		}
+		appStarts[i] = t
+	}
+
+	// Deterministic processing order: files sorted by name.
+	files := append([]xcal.File(nil), in.Files...)
+	sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+
+	nextID := 1
+	for _, f := range files {
+		pn, err := parseFileName(f.Name)
+		if err != nil {
+			return nil, rep, err
+		}
+		candidates := resolveFileStart(pn.naive)
+		bestApp, bestSkew := -1, matchTolerance+1
+		var bestStart time.Time
+		for i, a := range in.Apps {
+			if usedApps[i] || a.Op != pn.op.Short() || a.Kind != pn.label {
+				continue
+			}
+			for _, c := range candidates {
+				skew := appStarts[i].Sub(c)
+				if skew < 0 {
+					skew = -skew
+				}
+				if skew < bestSkew {
+					bestSkew, bestApp, bestStart = skew, i, appStarts[i]
+				}
+			}
+		}
+		if bestApp < 0 {
+			rep.UnmatchedFiles = append(rep.UnmatchedFiles, f.Name)
+			continue
+		}
+		usedApps[bestApp] = true
+		rep.Matched++
+		app := in.Apps[bestApp]
+
+		id := nextID
+		nextID++
+		end := bestStart.Add(time.Duration(app.DurationSec * float64(time.Second)))
+		test := dataset.Test{
+			ID:     id,
+			Kind:   kindByLabel[pn.label],
+			Op:     pn.op,
+			Start:  bestStart,
+			End:    end,
+			Server: app.Server,
+			Edge:   app.Edge,
+			Static: app.Static,
+		}
+
+		rows, signals, err := normalizeFile(f)
+		if err != nil {
+			return nil, rep, err
+		}
+		if len(rows) > 0 {
+			first, last := rows[0].raw, rows[len(rows)-1].raw
+			test.StartOdo = in.Route.OdometerOf(geo.LatLon{Lat: first.Lat, Lon: first.Lon})
+			test.EndOdo = in.Route.OdometerOf(geo.LatLon{Lat: last.Lat, Lon: last.Lon})
+			test.Timezone = in.Route.At(test.StartOdo).Timezone
+		}
+		db.Tests = append(db.Tests, test)
+
+		// Handover records.
+		for _, sig := range signals {
+			db.Handovers = append(db.Handovers, dataset.Handover{
+				TestID: id, Time: sig.at, Op: pn.op,
+				DurationMS: sig.raw.DurationMS,
+				FromTech:   sig.fromTech, ToTech: sig.toTech,
+				Odometer: nearestOdo(rows, sig.at, in.Route),
+			})
+		}
+
+		switch test.Kind {
+		case dataset.ThroughputDL, dataset.ThroughputUL:
+			dir := radio.Downlink
+			if test.Kind == dataset.ThroughputUL {
+				dir = radio.Uplink
+			}
+			for _, r := range rows {
+				db.Throughput = append(db.Throughput, throughputSample(id, dir, r, signals, in.Route, test))
+			}
+		case dataset.RTTTest:
+			for _, e := range app.RTTs {
+				at := bestStart.Add(unit.DurationFromMS(e.OffsetMS))
+				r := rowNear(rows, at)
+				s := dataset.RTTSample{
+					TestID: id, Time: at, Op: pn.op,
+					RTTMS: e.RTTMS, Lost: e.Lost,
+					Edge: app.Edge, Static: app.Static,
+				}
+				if r != nil {
+					s.Tech = r.tech
+					s.SpeedMPH = r.raw.SpeedMPH
+					s.Odometer = in.Route.OdometerOf(geo.LatLon{Lat: r.raw.Lat, Lon: r.raw.Lon})
+					s.Timezone = in.Route.At(s.Odometer).Timezone
+				}
+				db.RTT = append(db.RTT, s)
+			}
+		default:
+			db.AppRuns = append(db.AppRuns, appRun(id, test, app, rows, signals))
+		}
+	}
+
+	for _, used := range usedApps {
+		if !used {
+			rep.UnmatchedApps++
+		}
+	}
+
+	// Passive coverage rows.
+	for opShort, rows := range in.Logger {
+		op, ok := radio.ParseOperatorShort(opShort)
+		if !ok {
+			return nil, rep, fmt.Errorf("logsync: unknown logger operator %q", opShort)
+		}
+		for _, r := range rows {
+			z, ok := zoneByName(r.Zone)
+			if !ok {
+				return nil, rep, fmt.Errorf("logsync: logger zone %q", r.Zone)
+			}
+			at, err := time.ParseInLocation(xcal.LoggerFormat, r.TimeLocal, z.Location())
+			if err != nil {
+				return nil, rep, fmt.Errorf("logsync: logger time %q: %w", r.TimeLocal, err)
+			}
+			tech, _ := radio.ParseTechnology(r.Tech)
+			odo := in.Route.OdometerOf(geo.LatLon{Lat: r.Lat, Lon: r.Lon})
+			db.Passive = append(db.Passive, dataset.CoverageSample{
+				Time: at.UTC(), Op: op, Tech: tech, CellID: r.CellID,
+				Odometer: odo, Timezone: z, SpeedMPH: r.SpeedMPH,
+			})
+		}
+	}
+
+	sortDB(db)
+	return db, rep, nil
+}
+
+// normRow is a parsed XCAL row with UTC time.
+type normRow struct {
+	at   time.Time
+	tech radio.Technology
+	raw  xcal.Row
+}
+
+// normSignal is a parsed signaling event.
+type normSignal struct {
+	at       time.Time
+	fromTech radio.Technology
+	toTech   radio.Technology
+	raw      xcal.Signal
+}
+
+func normalizeFile(f xcal.File) ([]normRow, []normSignal, error) {
+	rows := make([]normRow, 0, len(f.Rows))
+	for _, r := range f.Rows {
+		at, err := ParseContentTime(r.TimeEDT)
+		if err != nil {
+			return nil, nil, err
+		}
+		tech, _ := radio.ParseTechnology(r.Tech)
+		rows = append(rows, normRow{at: at, tech: tech, raw: r})
+	}
+	signals := make([]normSignal, 0, len(f.Signals))
+	for _, s := range f.Signals {
+		at, err := ParseContentTime(s.TimeEDT)
+		if err != nil {
+			return nil, nil, err
+		}
+		ft, _ := radio.ParseTechnology(s.FromTech)
+		tt, _ := radio.ParseTechnology(s.ToTech)
+		signals = append(signals, normSignal{at: at, fromTech: ft, toTech: tt, raw: s})
+	}
+	return rows, signals, nil
+}
+
+func throughputSample(id int, dir radio.Direction, r normRow, signals []normSignal, route *geo.Route, test dataset.Test) dataset.ThroughputSample {
+	odo := route.OdometerOf(geo.LatLon{Lat: r.raw.Lat, Lon: r.raw.Lon})
+	wp := route.At(odo)
+	cc := r.raw.CCDL
+	if dir == radio.Uplink {
+		cc = r.raw.CCUL
+	}
+	hos := 0
+	for _, s := range signals {
+		if !s.at.Before(r.at) && s.at.Before(r.at.Add(xcal.SampleInterval)) {
+			hos++
+		}
+	}
+	return dataset.ThroughputSample{
+		TestID: id, Time: r.at, Op: test.Op, Dir: dir,
+		Mbps: r.raw.AppMbps, Tech: r.tech,
+		RSRP: r.raw.RSRP, SINR: r.raw.SINR, MCS: r.raw.MCS, CC: cc,
+		BLER: r.raw.BLER, Load: r.raw.Load,
+		SpeedMPH: r.raw.SpeedMPH, Odometer: odo,
+		Timezone: wp.Timezone, Region: wp.Region,
+		Handovers: hos, CellID: r.raw.CellID,
+		Edge: test.Edge, Static: test.Static,
+	}
+}
+
+func appRun(id int, test dataset.Test, app AppLog, rows []normRow, signals []normSignal) dataset.AppRun {
+	hs := 0
+	for _, r := range rows {
+		if r.tech.IsHighSpeed() {
+			hs++
+		}
+	}
+	frac := 0.0
+	if len(rows) > 0 {
+		frac = float64(hs) / float64(len(rows))
+	}
+	m := app.Metrics
+	return dataset.AppRun{
+		TestID: id, Kind: test.Kind, Op: test.Op, Start: test.Start,
+		Compressed: app.Compressed,
+		E2EMS:      m["e2e_ms"], OffloadFPS: m["fps"], MAP: m["map"],
+		QoE: m["qoe"], AvgBitrate: m["bitrate"], RebufferFrac: m["rebuffer"],
+		SendBitrate: m["send_bitrate"], NetLatencyMS: m["net_latency_ms"], FrameDropFrac: m["frame_drop"],
+		HighSpeedFrac: frac, Edge: test.Edge,
+		Handovers: len(signals), Static: test.Static,
+	}
+}
+
+// rowNear finds the row whose window contains (or is closest to) at.
+func rowNear(rows []normRow, at time.Time) *normRow {
+	if len(rows) == 0 {
+		return nil
+	}
+	i := sort.Search(len(rows), func(i int) bool { return !rows[i].at.Before(at) })
+	if i == 0 {
+		return &rows[0]
+	}
+	if i >= len(rows) {
+		return &rows[len(rows)-1]
+	}
+	// Pick the neighbour with smaller skew.
+	if rows[i].at.Sub(at) < at.Sub(rows[i-1].at) {
+		return &rows[i]
+	}
+	return &rows[i-1]
+}
+
+func nearestOdo(rows []normRow, at time.Time, route *geo.Route) unit.Meters {
+	r := rowNear(rows, at)
+	if r == nil {
+		return 0
+	}
+	return route.OdometerOf(geo.LatLon{Lat: r.raw.Lat, Lon: r.raw.Lon})
+}
+
+// sortDB orders every table by time for reproducible output.
+func sortDB(db *dataset.DB) {
+	sort.Slice(db.Tests, func(i, j int) bool { return db.Tests[i].ID < db.Tests[j].ID })
+	sort.Slice(db.Throughput, func(i, j int) bool { return db.Throughput[i].Time.Before(db.Throughput[j].Time) })
+	sort.Slice(db.RTT, func(i, j int) bool { return db.RTT[i].Time.Before(db.RTT[j].Time) })
+	sort.Slice(db.Handovers, func(i, j int) bool { return db.Handovers[i].Time.Before(db.Handovers[j].Time) })
+	sort.Slice(db.AppRuns, func(i, j int) bool { return db.AppRuns[i].Start.Before(db.AppRuns[j].Start) })
+	sort.Slice(db.Passive, func(i, j int) bool { return db.Passive[i].Time.Before(db.Passive[j].Time) })
+}

@@ -1,0 +1,573 @@
+// Package ran simulates the radio access network as seen by one UE: which
+// cell of which technology serves it at every instant, the A3-style
+// handovers between cells and across technologies, per-cell background
+// load, fast-fading bursts, and the resulting instantaneous link capacity
+// in both directions.
+//
+// The UE is the meeting point of three substrates: deploy (what is built
+// where, and the elevation policy), radio (propagation and capacity
+// physics), and geo (where the vehicle is and how fast it moves). The
+// transport and application layers consume the per-tick LinkState this
+// package produces; the XCAL recorder samples it at 500 ms.
+package ran
+
+import (
+	"hash/fnv"
+	"math"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/deploy"
+	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/simrand"
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+// HandoverKind classifies a handover by the technology transition, the
+// split Fig 12 analyses.
+type HandoverKind int
+
+// Handover kinds.
+const (
+	Horizontal4G HandoverKind = iota // 4G -> 4G
+	Horizontal5G                     // 5G -> 5G
+	Up                               // 4G -> 5G
+	Down                             // 5G -> 4G
+)
+
+// String implements fmt.Stringer using the paper's arrow labels.
+func (k HandoverKind) String() string {
+	switch k {
+	case Horizontal4G:
+		return "4G->4G"
+	case Horizontal5G:
+		return "5G->5G"
+	case Up:
+		return "4G->5G"
+	default:
+		return "5G->4G"
+	}
+}
+
+// KindOf classifies a technology transition.
+func KindOf(from, to radio.Technology) HandoverKind {
+	switch {
+	case !from.Is5G() && !to.Is5G():
+		return Horizontal4G
+	case from.Is5G() && to.Is5G():
+		return Horizontal5G
+	case !from.Is5G():
+		return Up
+	default:
+		return Down
+	}
+}
+
+// HandoverEvent records one handover.
+type HandoverEvent struct {
+	Start    time.Time
+	Duration time.Duration
+	FromTech radio.Technology
+	ToTech   radio.Technology
+	FromCell string
+	ToCell   string
+	Odometer unit.Meters
+}
+
+// Kind reports the event's technology-transition class.
+func (e HandoverEvent) Kind() HandoverKind { return KindOf(e.FromTech, e.ToTech) }
+
+// LinkState is the per-tick observable state of the UE's serving link —
+// exactly the KPI surface XCAL Solo taps (§3).
+type LinkState struct {
+	Time       time.Time
+	Tech       radio.Technology
+	CellID     string
+	RSRP       unit.DBm
+	SINR       unit.DB
+	MCS        int
+	BLER       float64
+	CCDL       int
+	CCUL       int
+	Load       float64
+	CapacityDL unit.BitRate
+	CapacityUL unit.BitRate
+	InHandover bool
+}
+
+// Capacity reports the state's capacity in the given direction.
+func (s LinkState) Capacity(d radio.Direction) unit.BitRate {
+	if d == radio.Uplink {
+		return s.CapacityUL
+	}
+	return s.CapacityDL
+}
+
+// CC reports the carrier-aggregation count in the given direction.
+func (s LinkState) CC(d radio.Direction) int {
+	if d == radio.Uplink {
+		return s.CCUL
+	}
+	return s.CCDL
+}
+
+// UEConfig configures a simulated phone's RAN attachment.
+type UEConfig struct {
+	Op  radio.Operator
+	Map *deploy.Map
+	// ForceBest bypasses the traffic-aware elevation policy and always
+	// serves from the best deployed technology — the policy ablation.
+	ForceBest bool
+}
+
+// Tunables of the attachment model. These are the calibration knobs
+// DESIGN.md's ablation benches exercise.
+const (
+	// hysteresis is the A3 margin a neighbour must clear to trigger a
+	// handover.
+	hysteresis = 3.0 // dB
+	// staticSearch is how far a parked tester roams to find the best
+	// base station for a baseline test.
+	staticSearch = 12 * unit.Kilometer
+	// shadowBucket is the spatial granularity of the shadowing field.
+	shadowBucket = 75 * unit.Meter
+	// caRedrawEvery is how often the network reconfigures carrier
+	// aggregation.
+	caRedrawEvery = 2 * time.Second
+	// fadeMeanGap is the mean time between deep-fade events at highway
+	// speed; fades are rarer when slow.
+	fadeMeanGap = 8 * time.Second
+)
+
+// hoMedian is the per-operator median handover duration in ms,
+// calibrated to Fig 11b (V 53, T 76, A 58 for downlink).
+func hoMedian(op radio.Operator) float64 {
+	switch op {
+	case radio.Verizon:
+		return 52
+	case radio.TMobile:
+		return 75
+	default:
+		return 57
+	}
+}
+
+// UE is one phone's RAN state machine.
+type UE struct {
+	cfg UEConfig
+
+	policyRNG *simrand.Source
+	caRNG     *simrand.Source
+	fadeRNG   *simrand.Source
+	hoRNG     *simrand.Source
+	loadRNG   *simrand.Source
+
+	traffic   deploy.Traffic
+	lastAvail deploy.TechSet
+	tech      radio.Technology
+	cellIdx   int // index into map cells of s.tech; -1 if unattached
+	attached  bool
+
+	// handover execution window
+	hoUntil time.Time
+
+	// carrier aggregation state
+	ccDL, ccUL int
+	caNext     time.Time
+
+	// deep-fade state
+	fadeUntil time.Time
+	fadeDepth float64 // multiplier on capacity during fade
+
+	// per-cell load processes, created lazily
+	loads map[string]*simrand.OU
+
+	handovers  []HandoverEvent
+	cellsSeen  map[string]bool
+	state      LinkState
+	everTicked bool
+	staticMode bool
+}
+
+// NewUE attaches a new phone to an operator's network.
+func NewUE(cfg UEConfig, rng *simrand.Source) *UE {
+	src := rng.Fork("ue/" + cfg.Op.Short())
+	return &UE{
+		cfg:       cfg,
+		policyRNG: src.Fork("policy"),
+		caRNG:     src.Fork("ca"),
+		fadeRNG:   src.Fork("fade"),
+		hoRNG:     src.Fork("ho"),
+		loadRNG:   src.Fork("load"),
+		traffic:   deploy.Idle,
+		tech:      radio.LTE,
+		cellIdx:   -1,
+		ccDL:      1,
+		ccUL:      1,
+		loads:     map[string]*simrand.OU{},
+		cellsSeen: map[string]bool{},
+	}
+}
+
+// SetTraffic updates the offered-traffic profile. The serving technology
+// is re-evaluated: traffic turning heavy can elevate the UE; traffic
+// turning idle keeps the elevated technology with probability
+// deploy.StickyRetainProb (the mechanism that puts a few mmWave points on
+// the paper's ping plots).
+func (u *UE) SetTraffic(tr deploy.Traffic, now time.Time, wp geo.Waypoint) {
+	if tr == u.traffic {
+		return
+	}
+	goingIdle := tr == deploy.Idle
+	u.traffic = tr
+	if goingIdle && u.policyRNG.Bool(deploy.StickyRetainProb) {
+		return // retain the elevated technology for now
+	}
+	u.reselectTech(now, wp)
+}
+
+// Traffic reports the current offered-traffic profile.
+func (u *UE) Traffic() deploy.Traffic { return u.traffic }
+
+// reselectTech runs the elevation policy and performs a vertical
+// handover if the serving technology changes.
+func (u *UE) reselectTech(now time.Time, wp geo.Waypoint) {
+	avail := u.availAt(wp.Odometer)
+	u.lastAvail = avail
+	chosen := u.choose(avail, wp)
+	if chosen == u.tech && u.attached {
+		return
+	}
+	fromTech := u.tech
+	fromCell := u.state.CellID
+	u.tech = chosen
+	u.cellIdx = u.bestCell(wp.Odometer, chosen)
+	toCell := u.cellName()
+	if u.attached && u.everTicked {
+		u.recordHandover(now, fromTech, chosen, fromCell, toCell, wp.Odometer)
+	}
+	u.attached = true
+	u.redrawCA(now)
+}
+
+// choose applies the elevation policy, honouring the ForceBest ablation
+// and static mode. A parked tester facing the base station with heavy
+// traffic always gets the best technology; idle (ICMP) traffic follows
+// the normal conservative policy even when static, which is why the
+// paper's static AT&T RTT tests ran over LTE (§5.1).
+func (u *UE) choose(avail deploy.TechSet, wp geo.Waypoint) radio.Technology {
+	if u.cfg.ForceBest || (u.staticMode && u.traffic != deploy.Idle) {
+		return avail.Best()
+	}
+	return deploy.ChooseTech(u.cfg.Op, avail, u.traffic, wp.Timezone, u.policyRNG)
+}
+
+// availAt reports deployed technologies, searching city-wide in static
+// mode.
+func (u *UE) availAt(odo unit.Meters) deploy.TechSet {
+	if u.staticMode {
+		return u.cfg.Map.AvailableWithin(odo, staticSearch)
+	}
+	return u.cfg.Map.Available(odo)
+}
+
+// SetStaticMode marks the UE as parked for a baseline test battery: the
+// tester positions the phone near the serving site with line of sight
+// (§5.1 "facing the BS"), so distance is favourable, shadowing and deep
+// fades vanish, and heavy traffic is always served by the best deployed
+// technology.
+func (u *UE) SetStaticMode(on bool) {
+	u.staticMode = on
+	if on {
+		u.fadeUntil = time.Time{}
+	}
+}
+
+// bestCell picks the strongest cell of a technology near the position.
+// Returns -1 if none is in range (possible for thinly covered techs).
+func (u *UE) bestCell(odo unit.Meters, t radio.Technology) int {
+	window := 3 * radio.Band(t).CellRadius
+	if u.staticMode && window < staticSearch {
+		window = staticSearch
+	}
+	best, bestIdx := math.Inf(-1), -1
+	lo, hi := u.cfg.Map.CellRange(odo, t, window)
+	for i := lo; i < hi; i++ {
+		c := u.cfg.Map.CellAt(t, i)
+		r := float64(u.rsrpOf(c, odo))
+		if r > best {
+			best, bestIdx = r, i
+		}
+	}
+	return bestIdx
+}
+
+// rsrpOf computes the RSRP of a cell at a position, with a shadowing
+// field that is deterministic in (cell, position bucket) so the same
+// stretch of road always fades the same way.
+func (u *UE) rsrpOf(c *deploy.Cell, odo unit.Meters) unit.DBm {
+	b := radio.Band(c.Tech)
+	if u.staticMode {
+		d := c.Distance(odo)
+		if d > 60*unit.Meter {
+			d = 60 * unit.Meter
+		}
+		return radio.RSRP(c.Tech, d, 0, radio.BeamGain(u.cfg.Op, c.Tech))
+	}
+	bucket := int64(odo / shadowBucket)
+	shadow := unit.DB(hashNormal(c.ID, bucket) * b.ShadowSigma)
+	return radio.RSRP(c.Tech, c.Distance(odo), shadow, radio.BeamGain(u.cfg.Op, c.Tech))
+}
+
+// hashNormal derives a deterministic standard-normal draw from a key and
+// bucket via Box–Muller over two hash-derived uniforms.
+func hashNormal(key string, bucket int64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var buf [8]byte
+	v := uint64(bucket)
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	x := h.Sum64()
+	// splitmix64 to decorrelate the two uniforms
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	u1 := float64(x>>11) / float64(1<<53)
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u2 := float64(x>>11) / float64(1<<53)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func (u *UE) cellName() string {
+	if u.cellIdx < 0 {
+		return ""
+	}
+	return u.cfg.Map.CellAt(u.tech, u.cellIdx).ID
+}
+
+// recordHandover logs an event and starts the execution window during
+// which the link carries no traffic.
+func (u *UE) recordHandover(now time.Time, fromTech, toTech radio.Technology, fromCell, toCell string, odo unit.Meters) {
+	dur := unit.DurationFromMS(u.hoRNG.LogNormalMedian(hoMedian(u.cfg.Op), 0.35))
+	u.handovers = append(u.handovers, HandoverEvent{
+		Start: now, Duration: dur,
+		FromTech: fromTech, ToTech: toTech,
+		FromCell: fromCell, ToCell: toCell,
+		Odometer: odo,
+	})
+	u.hoUntil = now.Add(dur)
+}
+
+// redrawCA samples a fresh carrier-aggregation configuration.
+func (u *UE) redrawCA(now time.Time) {
+	u.ccDL = drawCC(u.cfg.Op, u.tech, radio.Downlink, u.caRNG)
+	u.ccUL = drawCC(u.cfg.Op, u.tech, radio.Uplink, u.caRNG)
+	u.caNext = now.Add(caRedrawEvery)
+}
+
+// drawCC samples the number of aggregated carriers. Verizon rarely
+// aggregates uplink carriers; T-Mobile often runs 2 (§5.5's CA analysis).
+func drawCC(op radio.Operator, t radio.Technology, d radio.Direction, rng *simrand.Source) int {
+	max := radio.Link(op, t, d).MaxCC
+	if max <= 1 {
+		return 1
+	}
+	if d == radio.Uplink {
+		p2 := map[radio.Operator]float64{radio.Verizon: 0.05, radio.TMobile: 0.60, radio.ATT: 0.30}[op]
+		if rng.Bool(p2) {
+			return 2
+		}
+		return 1
+	}
+	// Downlink: favour high aggregation, with a spread.
+	weights := make([]float64, max)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	return rng.Pick(weights) + 1
+}
+
+// loadOf steps and returns the serving cell's background load.
+func (u *UE) loadOf(c *deploy.Cell) float64 {
+	p, ok := u.loads[c.ID]
+	if !ok {
+		p = &simrand.OU{Mean: c.LoadMean, Revert: 0.003, Sigma: 0.006, Min: 0, Max: 0.92}
+		u.loads[c.ID] = p
+	}
+	return p.Step(u.loadRNG)
+}
+
+// seedTargetLoad biases a handover target the UE has not visited yet
+// toward a below-average load: mobility load balancing steers UEs to
+// less-loaded neighbours, which is part of why post-handover throughput
+// usually recovers or improves (§6).
+func (u *UE) seedTargetLoad(c *deploy.Cell) {
+	if _, ok := u.loads[c.ID]; ok {
+		return
+	}
+	p := &simrand.OU{Mean: c.LoadMean, Revert: 0.003, Sigma: 0.006, Min: 0, Max: 0.92}
+	p.Seed(c.LoadMean * u.loadRNG.Uniform(0.55, 0.95))
+	u.loads[c.ID] = p
+}
+
+// Step advances the UE by dt at the given vehicle state and returns the
+// new link state.
+func (u *UE) Step(now time.Time, wp geo.Waypoint, speedMPH float64, dt time.Duration) LinkState {
+	avail := u.availAt(wp.Odometer)
+	if !u.attached || avail != u.lastAvail || (u.cellIdx >= 0 && !avail.Has(u.tech)) {
+		u.lastAvail = avail
+		u.reselectTechOnCoverageChange(now, wp, avail)
+	}
+
+	// Horizontal handover: a neighbour beats the serving cell by the
+	// hysteresis margin.
+	if u.cellIdx >= 0 && now.After(u.hoUntil) {
+		u.maybeHandover(now, wp)
+	}
+
+	// Carrier aggregation reconfiguration.
+	if now.After(u.caNext) {
+		u.redrawCA(now)
+	}
+
+	// Deep-fade process: underpasses, blockage, terrain. More frequent
+	// at speed; suppressed in static mode (the operator parked with line
+	// of sight to the serving site).
+	if !u.staticMode && now.After(u.fadeUntil) {
+		rate := (0.3 + speedMPH/70) / fadeMeanGap.Seconds() // events per second
+		if u.fadeRNG.Bool(rate * dt.Seconds()) {
+			u.fadeUntil = now.Add(time.Duration(u.fadeRNG.Uniform(3, 14) * float64(time.Second)))
+			u.fadeDepth = u.fadeRNG.Uniform(0.005, 0.18)
+		}
+	}
+
+	st := LinkState{Time: now, Tech: u.tech, CCDL: u.ccDL, CCUL: u.ccUL}
+	if u.cellIdx >= 0 {
+		c := u.cfg.Map.CellAt(u.tech, u.cellIdx)
+		st.CellID = c.ID
+		u.cellsSeen[c.ID] = true
+		st.RSRP = u.rsrpOf(c, wp.Odometer)
+		st.Load = u.loadOf(c)
+		st.SINR = radio.SINR(u.tech, st.RSRP, st.Load)
+		st.MCS = radio.MCSFromSINR(st.SINR)
+		burst := 0.0
+		if now.Before(u.fadeUntil) {
+			// The capacity collapse of a fade is modeled separately; the
+			// BLER the UE reports rises only modestly because HARQ keeps
+			// retransmitting through it.
+			burst = 0.02
+		}
+		st.BLER = radio.BLER(speedMPH, burst, u.fadeRNG.Float64())
+		st.CapacityDL = radio.Capacity(u.cfg.Op, u.tech, radio.Downlink, u.ccDL, st.SINR, st.BLER, st.Load)
+		st.CapacityUL = radio.Capacity(u.cfg.Op, u.tech, radio.Uplink, u.ccUL, st.SINR, st.BLER, st.Load)
+		if now.Before(u.fadeUntil) {
+			st.CapacityDL = unit.BitRate(float64(st.CapacityDL) * u.fadeDepth)
+			st.CapacityUL = unit.BitRate(float64(st.CapacityUL) * u.fadeDepth)
+		}
+	} else {
+		// Out of range of every cell of the serving technology: no
+		// capacity until coverage changes.
+		st.RSRP = -140
+		st.SINR = -10
+		st.MCS = 0
+		st.BLER = 0.6
+	}
+	if now.Before(u.hoUntil) {
+		st.InHandover = true
+		st.CapacityDL, st.CapacityUL = 0, 0
+	}
+	u.state = st
+	u.everTicked = true
+	return st
+}
+
+// reselectTechOnCoverageChange re-runs the policy when the deployed set
+// under the UE changes (fragment boundary) or on first attach.
+func (u *UE) reselectTechOnCoverageChange(now time.Time, wp geo.Waypoint, avail deploy.TechSet) {
+	chosen := u.choose(avail, wp)
+	if chosen == u.tech && u.attached {
+		// Same technology still; make sure we are attached to a cell.
+		if u.cellIdx < 0 {
+			u.cellIdx = u.bestCell(wp.Odometer, u.tech)
+		}
+		return
+	}
+	fromTech, fromCell := u.tech, u.state.CellID
+	u.tech = chosen
+	u.cellIdx = u.bestCell(wp.Odometer, chosen)
+	if u.attached && u.everTicked && u.cellIdx >= 0 {
+		u.recordHandover(now, fromTech, chosen, fromCell, u.cellName(), wp.Odometer)
+	}
+	u.attached = true
+	u.redrawCA(now)
+}
+
+// maybeHandover checks the A3 condition against nearby cells.
+func (u *UE) maybeHandover(now time.Time, wp geo.Waypoint) {
+	serving := u.cfg.Map.CellAt(u.tech, u.cellIdx)
+	servingRSRP := float64(u.rsrpOf(serving, wp.Odometer))
+	window := 3 * radio.Band(u.tech).CellRadius
+	best, bestIdx := servingRSRP+hysteresis, -1
+	lo, hi := u.cfg.Map.CellRange(wp.Odometer, u.tech, window)
+	for i := lo; i < hi; i++ {
+		if i == u.cellIdx {
+			continue
+		}
+		c := u.cfg.Map.CellAt(u.tech, i)
+		if r := float64(u.rsrpOf(c, wp.Odometer)); r > best {
+			best, bestIdx = r, i
+		}
+	}
+	if bestIdx >= 0 {
+		fromCell := serving.ID
+		u.cellIdx = bestIdx
+		u.seedTargetLoad(u.cfg.Map.CellAt(u.tech, bestIdx))
+		u.recordHandover(now, u.tech, u.tech, fromCell, u.cellName(), wp.Odometer)
+	}
+}
+
+// Handovers returns all handover events so far, in order.
+func (u *UE) Handovers() []HandoverEvent {
+	return append([]HandoverEvent(nil), u.handovers...)
+}
+
+// HandoverCount reports the number of handovers so far without copying.
+func (u *UE) HandoverCount() int { return len(u.handovers) }
+
+// HandoversFrom returns a view of the events starting at index i. The
+// returned slice is borrowed from the UE's internal log: callers must not
+// modify it and must not hold it across further Steps.
+func (u *UE) HandoversFrom(i int) []HandoverEvent {
+	if i < 0 || i > len(u.handovers) {
+		return nil
+	}
+	return u.handovers[i:]
+}
+
+// HandoversSince reports events starting at or after t.
+func (u *UE) HandoversSince(t time.Time) []HandoverEvent {
+	var out []HandoverEvent
+	for _, e := range u.handovers {
+		if !e.Start.Before(t) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// UniqueCells reports how many distinct cells the UE has connected to —
+// Table 1's "# of unique cells connected".
+func (u *UE) UniqueCells() int { return len(u.cellsSeen) }
+
+// State reports the last computed link state.
+func (u *UE) State() LinkState { return u.state }
+
+// Tech reports the current serving technology.
+func (u *UE) Tech() radio.Technology { return u.tech }

@@ -1,0 +1,307 @@
+// Package stats implements the descriptive statistics the paper's
+// evaluation is built from: empirical CDFs and quantiles, Pearson
+// correlation (Table 2), mean/standard deviation summaries (Fig 9), and
+// value binning (speed bins, technology bins, HT/LT bins).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summaries of empty sample sets.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// CDF is an empirical cumulative distribution over a sample set.
+// The zero value is an empty distribution; add samples with Add or
+// construct directly from a slice with NewCDF.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewCDF builds a distribution from xs. The input slice is copied.
+func NewCDF(xs []float64) *CDF {
+	c := &CDF{samples: append([]float64(nil), xs...)}
+	return c
+}
+
+// Add appends one sample.
+func (c *CDF) Add(x float64) {
+	c.samples = append(c.samples, x)
+	c.sorted = false
+}
+
+// Len reports the number of samples.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At reports the empirical CDF value P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	i := sort.SearchFloat64s(c.samples, x)
+	// advance past equal values so At is P(X <= x), not P(X < x)
+	for i < len(c.samples) && c.samples[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.samples))
+}
+
+// Quantile reports the q-th quantile (q in [0, 1]) using linear
+// interpolation between order statistics. Quantile(0.5) is the median.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.ensureSorted()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	pos := q * float64(len(c.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return c.samples[lo]*(1-frac) + c.samples[hi]*frac
+}
+
+// Median is Quantile(0.5).
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Min reports the smallest sample, or NaN if empty.
+func (c *CDF) Min() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.ensureSorted()
+	return c.samples[0]
+}
+
+// Max reports the largest sample, or NaN if empty.
+func (c *CDF) Max() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.ensureSorted()
+	return c.samples[len(c.samples)-1]
+}
+
+// Mean reports the arithmetic mean, or NaN if empty.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range c.samples {
+		sum += x
+	}
+	return sum / float64(len(c.samples))
+}
+
+// FracBelow reports the fraction of samples strictly below x — the form
+// the paper uses for statements like "35% of samples are below 5 Mbps".
+func (c *CDF) FracBelow(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	return float64(sort.SearchFloat64s(c.samples, x)) / float64(len(c.samples))
+}
+
+// Points renders the CDF as n evenly spaced (value, probability) pairs,
+// suitable for plotting or textual figure output.
+func (c *CDF) Points(n int) []Point {
+	if len(c.samples) == 0 || n <= 0 {
+		return nil
+	}
+	c.ensureSorted()
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		if n == 1 {
+			q = 0.5
+		}
+		pts = append(pts, Point{X: c.Quantile(q), P: q})
+	}
+	return pts
+}
+
+// Point is one (value, cumulative probability) pair of a rendered CDF.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Summary bundles the descriptive statistics the paper tabulates for a
+// sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	c := NewCDF(xs)
+	mean := c.Mean()
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	std := 0.0
+	if len(xs) > 1 {
+		std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   mean,
+		Std:    std,
+		Min:    c.Min(),
+		P25:    c.Quantile(0.25),
+		Median: c.Median(),
+		P75:    c.Quantile(0.75),
+		P90:    c.Quantile(0.90),
+		Max:    c.Max(),
+	}, nil
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f p25=%.2f med=%.2f p75=%.2f p90=%.2f max=%.2f",
+		s.N, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.P90, s.Max)
+}
+
+// Pearson computes the Pearson correlation coefficient between two
+// equal-length sample vectors, as used in Table 2. It returns an error if
+// the lengths differ, fewer than two points are given, or either vector
+// has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}
+
+// Binner assigns values to labelled half-open bins [edge[i], edge[i+1]).
+// Values below the first edge go to bin 0; values at or above the last
+// edge go to the final bin. This matches the paper's speed bins:
+// low (0–20 mph), mid (20–60), high (60+).
+type Binner struct {
+	Edges  []float64 // interior edges, ascending; len(Edges) = len(Labels)-1
+	Labels []string
+}
+
+// NewBinner builds a binner from interior edges and one label per bin.
+func NewBinner(edges []float64, labels []string) (*Binner, error) {
+	if len(labels) != len(edges)+1 {
+		return nil, fmt.Errorf("stats: %d labels for %d edges; want edges+1", len(labels), len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("stats: edges not ascending at %d", i)
+		}
+	}
+	return &Binner{Edges: append([]float64(nil), edges...), Labels: append([]string(nil), labels...)}, nil
+}
+
+// Index reports which bin x belongs to.
+func (b *Binner) Index(x float64) int {
+	return sort.SearchFloat64s(b.Edges, x+smallestStep(x))
+}
+
+// smallestStep nudges x so that values exactly on an edge land in the
+// upper bin, giving half-open [lo, hi) semantics with SearchFloat64s.
+func smallestStep(x float64) float64 {
+	return math.Nextafter(math.Abs(x), math.Inf(1)) - math.Abs(x)
+}
+
+// Label reports the label of x's bin.
+func (b *Binner) Label(x float64) string { return b.Labels[b.Index(x)] }
+
+// Bins reports the number of bins.
+func (b *Binner) Bins() int { return len(b.Labels) }
+
+// SpeedBins is the paper's three-way vehicle-speed binning in mph.
+func SpeedBins() *Binner {
+	b, err := NewBinner([]float64{20, 60}, []string{"0-20 mph", "20-60 mph", "60+ mph"})
+	if err != nil {
+		panic(err) // static construction cannot fail
+	}
+	return b
+}
+
+// Histogram counts occurrences of each label over values, using the binner.
+func (b *Binner) Histogram(xs []float64) map[string]int {
+	h := make(map[string]int, b.Bins())
+	for _, l := range b.Labels {
+		h[l] = 0
+	}
+	for _, x := range xs {
+		h[b.Label(x)]++
+	}
+	return h
+}
+
+// Share converts a count map into fractional shares of the total.
+// An all-zero map yields all-zero shares.
+func Share(counts map[string]int) map[string]float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make(map[string]float64, len(counts))
+	for k, c := range counts {
+		if total == 0 {
+			out[k] = 0
+		} else {
+			out[k] = float64(c) / float64(total)
+		}
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{9, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFAtEmpty(t *testing.T) {
+	var c CDF
+	if got := c.At(1); got != 0 {
+		t.Errorf("At on empty = %v, want 0", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Median(); got != 30 {
+		t.Errorf("Median = %v, want 30", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %v, want 10", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want 50", got)
+	}
+	if got := c.Quantile(0.25); got != 20 {
+		t.Errorf("Quantile(0.25) = %v, want 20", got)
+	}
+	// interpolation between order statistics
+	if got := c.Quantile(0.375); got != 25 {
+		t.Errorf("Quantile(0.375) = %v, want 25", got)
+	}
+}
+
+func TestCDFQuantileEmpty(t *testing.T) {
+	var c CDF
+	if got := c.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile on empty = %v, want NaN", got)
+	}
+}
+
+func TestCDFAddUnsorted(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{5, 1, 9, 3} {
+		c.Add(x)
+	}
+	if got := c.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := c.Max(); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+	c.Add(0.5) // re-sorting after more adds
+	if got := c.Min(); got != 0.5 {
+		t.Errorf("Min after Add = %v, want 0.5", got)
+	}
+}
+
+func TestCDFMean(t *testing.T) {
+	c := NewCDF([]float64{2, 4, 6})
+	if got := c.Mean(); got != 4 {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+}
+
+func TestCDFFracBelow(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	if got := c.FracBelow(3); got != 0.4 {
+		t.Errorf("FracBelow(3) = %v, want 0.4", got)
+	}
+	if got := c.FracBelow(0); got != 0 {
+		t.Errorf("FracBelow(0) = %v, want 0", got)
+	}
+	if got := c.FracBelow(100); got != 1 {
+		t.Errorf("FracBelow(100) = %v, want 1", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	pts := c.Points(3)
+	if len(pts) != 3 {
+		t.Fatalf("Points len = %d, want 3", len(pts))
+	}
+	if pts[0].X != 0 || pts[2].X != 10 {
+		t.Errorf("endpoints = %v, %v", pts[0], pts[2])
+	}
+	if pts[1].P != 0.5 {
+		t.Errorf("middle P = %v, want 0.5", pts[1].P)
+	}
+	if got := c.Points(0); got != nil {
+		t.Errorf("Points(0) = %v, want nil", got)
+	}
+}
+
+func TestCDFQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		c := NewCDF(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAtQuantileConsistencyProperty(t *testing.T) {
+	// For any sample x in the set, At(x) >= its rank fraction.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for i, x := range sorted {
+			if c.At(x) < float64(i+1)/float64(len(sorted))-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	// sample std of 1..5 is sqrt(2.5)
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("Std = %v, want %v", s.Std, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std != 0 {
+		t.Errorf("Std of single sample = %v, want 0", s.Std)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, _ := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Error("String is empty")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonUncorrelated(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, -1, 1, -1}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.5 {
+		t.Errorf("r = %v, want near 0", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("too-few points not rejected")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance not rejected")
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		if len(pairs) < 3 {
+			return true
+		}
+		xs := make([]float64, len(pairs))
+		ys := make([]float64, len(pairs))
+		for i, p := range pairs {
+			// Restrict to magnitudes where the sums of squares cannot
+			// overflow; KPI values in this codebase are far smaller still.
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) ||
+				math.Abs(p[0]) > 1e100 || math.Abs(p[1]) > 1e100 {
+				return true
+			}
+			xs[i], ys[i] = p[0], p[1]
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinner(t *testing.T) {
+	b := SpeedBins()
+	cases := []struct {
+		x    float64
+		want string
+	}{
+		{0, "0-20 mph"},
+		{19.9, "0-20 mph"},
+		{20, "20-60 mph"},
+		{59.9, "20-60 mph"},
+		{60, "60+ mph"},
+		{85, "60+ mph"},
+	}
+	for _, c := range cases {
+		if got := b.Label(c.x); got != c.want {
+			t.Errorf("Label(%v) = %q, want %q", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNewBinnerValidation(t *testing.T) {
+	if _, err := NewBinner([]float64{1, 2}, []string{"a", "b"}); err == nil {
+		t.Error("label count mismatch not rejected")
+	}
+	if _, err := NewBinner([]float64{2, 1}, []string{"a", "b", "c"}); err == nil {
+		t.Error("descending edges not rejected")
+	}
+}
+
+func TestBinnerHistogram(t *testing.T) {
+	b := SpeedBins()
+	h := b.Histogram([]float64{5, 10, 25, 70, 70, 70})
+	if h["0-20 mph"] != 2 || h["20-60 mph"] != 1 || h["60+ mph"] != 3 {
+		t.Errorf("Histogram = %v", h)
+	}
+}
+
+func TestBinnerIndexTotalProperty(t *testing.T) {
+	b := SpeedBins()
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		i := b.Index(x)
+		return i >= 0 && i < b.Bins()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShare(t *testing.T) {
+	s := Share(map[string]int{"a": 1, "b": 3})
+	if s["a"] != 0.25 || s["b"] != 0.75 {
+		t.Errorf("Share = %v", s)
+	}
+	z := Share(map[string]int{"a": 0})
+	if z["a"] != 0 {
+		t.Errorf("Share of zero total = %v", z)
+	}
+}

@@ -1,0 +1,155 @@
+package xcal
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/ran"
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+func sampleFile() File {
+	return File{
+		Name:  "V_DL_20220808_090000.drm",
+		Op:    "V",
+		Label: "DL",
+		Rows: []Row{
+			{
+				TimeEDT: "08/08/2022 12:00:00.000", Tech: "5G-mid", CellID: "V-5G-mid-0001",
+				RSRP: -95.5, SINR: 12.25, MCS: 15, CCDL: 2, CCUL: 1,
+				BLER: 0.05, Load: 0.4, AppMbps: 42.5, InHandover: false,
+				Lat: 34.05, Lon: -118.24, SpeedMPH: 65,
+			},
+			{
+				TimeEDT: "08/08/2022 12:00:00.500", Tech: "LTE-A", CellID: "",
+				RSRP: -101, InHandover: true,
+			},
+		},
+		Signals: []Signal{
+			{TimeEDT: "08/08/2022 12:00:00.200", Event: "HO",
+				FromTech: "5G-mid", ToTech: "LTE-A",
+				FromCell: "V-5G-mid-0001", ToCell: "V-LTE-A-0033", DurationMS: 53},
+		},
+	}
+}
+
+func TestDRMRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.WriteDRM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDRM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, back) {
+		t.Errorf("round trip changed file:\n got %+v\nwant %+v", back, f)
+	}
+}
+
+func TestDRMRoundTripEmpty(t *testing.T) {
+	f := File{Name: "T_RTT_20220810_110000.drm", Op: "T", Label: "RTT"}
+	var buf bytes.Buffer
+	if err := f.WriteDRM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDRM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != f.Name || len(back.Rows) != 0 || len(back.Signals) != 0 {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestDRMBadMagic(t *testing.T) {
+	_, err := ReadDRM(strings.NewReader("NOPE...."))
+	if !errors.Is(err, ErrBadDRM) {
+		t.Errorf("err = %v, want ErrBadDRM", err)
+	}
+}
+
+func TestDRMTruncated(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.WriteDRM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every truncation point must fail cleanly, never panic.
+	for cut := 0; cut < len(full)-1; cut += 7 {
+		if _, err := ReadDRM(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDRMCorruptedLengths(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.WriteDRM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Blow up the first string length field (bytes 4..8).
+	data[4], data[5], data[6], data[7] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadDRM(bytes.NewReader(data)); !errors.Is(err, ErrBadDRM) {
+		t.Errorf("corrupted length: err = %v", err)
+	}
+}
+
+func TestDRMFuzzRandomBytes(t *testing.T) {
+	// Arbitrary byte soup never panics and (except for the vanishingly
+	// unlikely valid container) returns an error.
+	f := func(data []byte) bool {
+		_, err := ReadDRM(bytes.NewReader(data))
+		return err != nil || len(data) >= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRMRecorderIntegration(t *testing.T) {
+	// A file produced by the Recorder round-trips through the container.
+	rec := NewRecorder(opForTest())
+	now := testStart()
+	rec.StartFile("UL", now, zoneForTest())
+	st := stateForTest()
+	for i := 0; i < 20; i++ {
+		st.Time = now
+		rec.Observe(tickForTest(), st, wpForTest(), 55, 4096)
+		now = now.Add(tickForTest())
+	}
+	f := rec.CloseFile()
+	var buf bytes.Buffer
+	if err := f.WriteDRM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDRM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, back) {
+		t.Error("recorder file did not round trip")
+	}
+}
+
+// Test fixtures shared with the recorder integration test.
+
+func opForTest() radio.Operator  { return radio.TMobile }
+func zoneForTest() geo.Timezone  { return geo.Mountain }
+func tickForTest() time.Duration { return 50 * time.Millisecond }
+func testStart() time.Time       { return time.Date(2022, 8, 10, 18, 0, 0, 0, time.UTC) }
+func wpForTest() geo.Waypoint    { return geo.DefaultRoute().At(1200 * unit.Kilometer) }
+func stateForTest() ran.LinkState {
+	return ran.LinkState{Tech: radio.LTEA, CellID: "T-LTE-A-0100", RSRP: -98, SINR: 14, MCS: 17, CCDL: 3, CCUL: 1, BLER: 0.04, Load: 0.5}
+}
