@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the lane-engine scaling benchmark; the full figure/table
+# benches live in bench_test.go and run with `go test -bench=.`.
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkCampaignRun -benchtime=1x .
+
+ci: vet build race

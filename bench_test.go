@@ -468,6 +468,26 @@ func sortFloats(xs []float64) {
 	}
 }
 
+// BenchmarkCampaignRun tracks the lane-engine speedup: the same campaign
+// at 1, 2, and 3 concurrent operator lanes. The output is byte-identical
+// across worker counts, so the sub-benchmarks differ only in wall clock.
+func BenchmarkCampaignRun(b *testing.B) {
+	for _, workers := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{
+					Seed:           1,
+					Limit:          80 * unit.Kilometer,
+					Workers:        workers,
+					VideoDuration:  20 * time.Second,
+					GamingDuration: 15 * time.Second,
+				}
+				core.NewCampaign(cfg).Run()
+			}
+		})
+	}
+}
+
 // BenchmarkCampaignEndToEnd times the full pipeline on a short slice:
 // drive + RAN + transport + logging + sync + merge.
 func BenchmarkCampaignEndToEnd(b *testing.B) {

@@ -32,6 +32,7 @@ import (
 	"github.com/nuwins/cellwheels/internal/radio"
 	"github.com/nuwins/cellwheels/internal/stats"
 	"github.com/nuwins/cellwheels/internal/unit"
+	"github.com/nuwins/cellwheels/internal/xcal"
 )
 
 // Config parameterizes a study. The zero value runs the paper's full
@@ -58,6 +59,9 @@ type Config struct {
 	// zero keeps the paper's durations (180 s and 90 s).
 	VideoSeconds  int
 	GamingSeconds int
+	// Workers caps how many operator lanes are simulated concurrently;
+	// 0 means GOMAXPROCS. Any value produces byte-identical output.
+	Workers int
 }
 
 func (c Config) internal() core.Config {
@@ -68,6 +72,7 @@ func (c Config) internal() core.Config {
 		SkipPassive:   c.SkipPassive,
 		DisableEdge:   c.DisableEdge,
 		DisablePolicy: c.DisablePolicy,
+		Workers:       c.Workers,
 	}
 	if c.LimitKm > 0 {
 		cfg.Limit = unit.Meters(c.LimitKm) * unit.Kilometer
@@ -111,17 +116,8 @@ func RunArchivingRaw(cfg Config, dir string) (*Study, error) {
 	c := core.NewCampaign(cfg.internal())
 	raw := c.Run()
 	for _, f := range raw.Files {
-		out, err := os.Create(filepath.Join(dir, f.Name))
-		if err != nil {
+		if err := writeDRMFile(filepath.Join(dir, f.Name), f); err != nil {
 			return nil, fmt.Errorf("cellwheels: %w", err)
-		}
-		werr := f.WriteDRM(out)
-		cerr := out.Close()
-		if werr != nil {
-			return nil, fmt.Errorf("cellwheels: %w", werr)
-		}
-		if cerr != nil {
-			return nil, fmt.Errorf("cellwheels: %w", cerr)
 		}
 	}
 	db, rep, err := c.Merge(raw)
@@ -132,6 +128,25 @@ func RunArchivingRaw(cfg Config, dir string) (*Study, error) {
 		return nil, fmt.Errorf("cellwheels: %d unmatched files after sync", len(rep.UnmatchedFiles))
 	}
 	return &Study{db: db, route: c.Route(), campaign: c}, nil
+}
+
+// writeDRMFile archives one capture atomically: the container is staged
+// in a temp file and renamed into place only after a complete write, so a
+// mid-archive failure never leaves a truncated .drm behind.
+func writeDRMFile(path string, f xcal.File) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".drm-tmp-*")
+	if err != nil {
+		return err
+	}
+	werr := f.WriteDRM(tmp)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // WriteCoverageGeoJSON writes map-ready GeoJSON into dir: the route with

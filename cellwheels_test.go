@@ -112,6 +112,32 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestWorkersByteIdentical is the engine's determinism contract: the same
+// config produces byte-identical datasets run-over-run and for any worker
+// count. Apps, static batteries, and passive loggers are all enabled so
+// every lane subsystem is exercised; -race covers the lane scheduling.
+func TestWorkersByteIdentical(t *testing.T) {
+	jsonFor := func(workers int) []byte {
+		t.Helper()
+		s, err := Run(Config{Seed: 21, LimitKm: 40, VideoSeconds: 20, GamingSeconds: 15, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := jsonFor(1)
+	if again := jsonFor(1); !bytes.Equal(serial, again) {
+		t.Error("Workers:1 is not reproducible run-over-run")
+	}
+	if parallel := jsonFor(3); !bytes.Equal(serial, parallel) {
+		t.Error("Workers:3 output differs from Workers:1")
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	cfg := Config{Seed: 9, LimitKm: 25, SkipApps: true, SkipStatic: true, SkipPassive: true}
 	a, err := Run(cfg)

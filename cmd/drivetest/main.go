@@ -5,7 +5,7 @@
 //
 //	drivetest -seed 42 -out dataset.json [-limit-km 500] [-csv dir]
 //	          [-skip-apps] [-skip-static] [-skip-passive]
-//	          [-disable-edge] [-disable-policy]
+//	          [-disable-edge] [-disable-policy] [-workers N]
 //
 // The full 5,711 km campaign takes on the order of a minute; use
 // -limit-km for quick runs.
@@ -33,6 +33,7 @@ func main() {
 		skipPassive   = flag.Bool("skip-passive", false, "skip the passive handover loggers")
 		disableEdge   = flag.Bool("disable-edge", false, "remove Wavelength edge servers (ablation)")
 		disablePolicy = flag.Bool("disable-policy", false, "always serve the best technology (ablation)")
+		workers       = flag.Int("workers", 0, "concurrent operator lanes (0 = GOMAXPROCS); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 		SkipPassive:   *skipPassive,
 		DisableEdge:   *disableEdge,
 		DisablePolicy: *disablePolicy,
+		Workers:       *workers,
 	}
 	start := time.Now()
 	var study *cellwheels.Study

@@ -84,12 +84,12 @@ func (s *Session) Step(dt time.Duration, dl unit.BitRate, baseRTT time.Duration)
 	// Smoothed capacity estimate drives the adapter: quick to back off,
 	// slow to ramp — Steam's behaviour of protecting frame rate first.
 	if capMbps < s.est {
-		s.est += (capMbps - s.est) * minf(1, sec*6)
+		s.est += (capMbps - s.est) * min(1, sec*6)
 	} else {
-		s.est += (capMbps - s.est) * minf(1, sec*0.4)
+		s.est += (capMbps - s.est) * min(1, sec*0.4)
 	}
 	target := clamp(0.65*s.est, s.cfg.MinBitrateMbps, s.cfg.MaxBitrateMbps)
-	s.rate += (target - s.rate) * minf(1, sec*3)
+	s.rate += (target - s.rate) * min(1, sec*3)
 
 	// Stream bytes actually carried this tick.
 	carried := s.rate
@@ -103,7 +103,7 @@ func (s *Session) Step(dt time.Duration, dl unit.BitRate, baseRTT time.Duration)
 	nFrames := s.cfg.FPS * sec
 	s.frames += nFrames
 	if capMbps < s.rate {
-		shortfall := 1 - capMbps/maxf(s.rate, 1e-9)
+		shortfall := 1 - capMbps/max(s.rate, 1e-9)
 		s.dropped += nFrames * clamp(shortfall, 0, 1)
 	}
 
@@ -113,7 +113,7 @@ func (s *Session) Step(dt time.Duration, dl unit.BitRate, baseRTT time.Duration)
 		s.sinceStat -= time.Second
 		lat := unit.Milliseconds(baseRTT)
 		// Operating near the capacity edge queues frames.
-		util := s.rate / maxf(capMbps, 1e-9)
+		util := s.rate / max(capMbps, 1e-9)
 		switch {
 		case capMbps <= 0:
 			lat += 800 + s.rng.Uniform(0, 400)
@@ -172,16 +172,3 @@ func clamp(x, lo, hi float64) float64 {
 	return x
 }
 
-func minf(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"github.com/nuwins/cellwheels/internal/apps/offload"
 	"github.com/nuwins/cellwheels/internal/dataset"
@@ -360,33 +362,56 @@ func TableMAP() string {
 		[]string{"bin", "mAP w/o comp", "mAP w/ comp"}, rows)
 }
 
-// Report renders every table and figure in paper order.
+// Report renders every table and figure in paper order. The sections are
+// independent reads of the database, so they render concurrently on a
+// bounded worker pool; the join order is fixed, so the output is
+// identical to a serial render.
 func Report(db *dataset.DB, maps CoverageMaps) string {
-	var b strings.Builder
-	sections := []string{
-		TableDatasetStats(db).Render(),
-		maps.Render(),
-		FigureCoverage(db).Render(),
-		FigureStaticVsDriving(db).Render(),
-		FigurePerTechnology(db).Render(),
-		FigureTimezone(db).Render(),
-		FigureOperatorDiversity(db).Render(),
-		FigureSpeedScatter(db).Render(),
-		TableKPICorrelation(db).Render(),
-		FigureLongTimescale(db).Render(),
-		FigureHighSpeed5GShare(db).Render(),
-		TableOoklaComparison(db).Render(),
-		FigureHandoverStats(db).Render(),
-		FigureHandoverImpact(db).Render(),
-		FigureARApp(db).Render(),
-		FigureCAVApp(db).Render(),
-		FigureVideo(db).Render(),
-		FigureGaming(db).Render(),
-		TableAppConfigs(),
-		TableMAP(),
-		AnalyzeMultivariate(db).Render(),
+	sections := []func() string{
+		func() string { return TableDatasetStats(db).Render() },
+		maps.Render,
+		func() string { return FigureCoverage(db).Render() },
+		func() string { return FigureStaticVsDriving(db).Render() },
+		func() string { return FigurePerTechnology(db).Render() },
+		func() string { return FigureTimezone(db).Render() },
+		func() string { return FigureOperatorDiversity(db).Render() },
+		func() string { return FigureSpeedScatter(db).Render() },
+		func() string { return TableKPICorrelation(db).Render() },
+		func() string { return FigureLongTimescale(db).Render() },
+		func() string { return FigureHighSpeed5GShare(db).Render() },
+		func() string { return TableOoklaComparison(db).Render() },
+		func() string { return FigureHandoverStats(db).Render() },
+		func() string { return FigureHandoverImpact(db).Render() },
+		func() string { return FigureARApp(db).Render() },
+		func() string { return FigureCAVApp(db).Render() },
+		func() string { return FigureVideo(db).Render() },
+		func() string { return FigureGaming(db).Render() },
+		TableAppConfigs,
+		TableMAP,
+		func() string { return AnalyzeMultivariate(db).Render() },
 	}
-	for _, s := range sections {
+
+	rendered := make([]string, len(sections))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := min(runtime.GOMAXPROCS(0), len(sections))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rendered[i] = sections[i]()
+			}
+		}()
+	}
+	for i := range sections {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var b strings.Builder
+	for _, s := range rendered {
 		b.WriteString(s)
 		b.WriteString("\n")
 	}

@@ -5,15 +5,23 @@
 // handover-logger phones, per-city static baselines, and edge/cloud server
 // selection) and the full analysis suite that regenerates every table and
 // figure of the evaluation.
+//
+// The engine is split into two layers, mirroring the physical testbed:
+// a shared geo.Timeline — the deterministic drive schedule, including the
+// fixed-budget static hold windows — and one lane per operator, each
+// owning a phone, an XCAL recorder, a passive handover logger, and its
+// deployment map. Lanes replay the timeline independently, so they run
+// concurrently; outputs are merged in fixed operator order, which makes
+// the result byte-identical for every worker count.
 package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
-	"github.com/nuwins/cellwheels/internal/apps/gaming"
 	"github.com/nuwins/cellwheels/internal/apps/offload"
-	"github.com/nuwins/cellwheels/internal/apps/video"
 	"github.com/nuwins/cellwheels/internal/cloud"
 	"github.com/nuwins/cellwheels/internal/dataset"
 	"github.com/nuwins/cellwheels/internal/deploy"
@@ -30,6 +38,15 @@ import (
 // Tick is the simulation step.
 const Tick = 50 * time.Millisecond
 
+// staticCityRadius is how close to a city center the vehicle must be to
+// trigger that city's static baseline battery.
+const staticCityRadius = 8 * unit.Kilometer
+
+// staticSearchWindow is how far around the stop a static battery counts
+// deployed technologies — the testers sought out the best site in the
+// city, not the best site at the parking spot (§5.1).
+const staticSearchWindow = 12 * unit.Kilometer
+
 // Config parameterizes a campaign. The zero value (plus a seed) runs the
 // paper's full methodology over the full route.
 type Config struct {
@@ -39,6 +56,12 @@ type Config struct {
 	// Limit truncates the trip after this driven distance. Zero means
 	// the full route. Tests and benches use small limits.
 	Limit unit.Meters
+
+	// Workers caps how many operator lanes are simulated concurrently.
+	// Zero means GOMAXPROCS; values above the operator count are clamped.
+	// Every value produces byte-identical output: lanes are individually
+	// deterministic and their logs are merged in fixed operator order.
+	Workers int
 
 	// Durations of the individual tests; zero values take the paper's.
 	ThroughputDuration time.Duration // 30 s (§5)
@@ -130,43 +153,22 @@ func (c Config) testDuration(k dataset.TestKind) time.Duration {
 	}
 }
 
-// phone is one active measurement handset (UE + XCAL Solo + test app).
-type phone struct {
-	op    radio.Operator
-	ue    *ran.UE
-	rec   *xcal.Recorder
-	rng   *simrand.Source
-	fleet []cloud.Server
+// staticHoldBudget is the fixed wall-clock length of one per-city static
+// battery: exactly one full rotation — a gap plus a test per slot — in
+// whole ticks. Deriving the budget from the configured durations alone
+// keeps the shared timeline independent of any phone's runtime progress,
+// which is what lets lanes replay it without waiting for each other.
+func (c Config) staticHoldBudget() time.Duration {
+	var ticks int64
+	for _, s := range c.rotation() {
+		ticks += ceilTicks(c.TestGap) + ceilTicks(c.testDuration(s.kind))
+	}
+	return time.Duration(ticks) * Tick
+}
 
-	// rotation state
-	specs   []testSpec
-	specIdx int
-	gapLeft time.Duration
-
-	// current test state
-	inTest    bool
-	spec      testSpec
-	testLeft  time.Duration
-	testStart time.Time
-	static    bool
-	server    cloud.Server
-	appLog    logsync.AppLog
-
-	flow      *transport.Flow
-	pinger    *transport.Pinger
-	offRun    *offload.Runner
-	vidRun    *video.Session
-	gameRun   *gaming.Session
-	prevApp   unit.Bytes
-	hoSeen    int
-	testTime  time.Duration // cumulative test runtime (Table 1)
-	testsDone int
-
-	files []xcal.File
-	apps  []logsync.AppLog
-
-	bytesRx unit.Bytes
-	bytesTx unit.Bytes
+// ceilTicks converts a duration to whole simulation ticks, rounding up.
+func ceilTicks(d time.Duration) int64 {
+	return int64((d + Tick - 1) / Tick)
 }
 
 // Raw is the campaign's unmerged output: exactly what the instruments
@@ -183,14 +185,12 @@ type Raw struct {
 
 // Campaign is a configured, runnable measurement campaign.
 type Campaign struct {
-	cfg    Config
-	route  *geo.Route
-	maps   map[radio.Operator]*deploy.Map
-	fleet  []cloud.Server
-	phones []*phone
-	logger map[radio.Operator]*xcal.HandoverLogger
-	drive  *geo.Drive
-	rng    *simrand.Source
+	cfg      Config
+	route    *geo.Route
+	maps     map[radio.Operator]*deploy.Map
+	fleet    []cloud.Server
+	lanes    []*lane
+	timeline *geo.Timeline
 }
 
 // NewCampaign builds the testbed for a config.
@@ -210,14 +210,21 @@ func NewCampaign(cfg Config) *Campaign {
 		fleet = clouds
 	}
 
+	var hold geo.HoldRule
+	if !cfg.SkipStatic {
+		hold = geo.HoldRule{MaxCityDistance: staticCityRadius, Budget: cfg.staticHoldBudget()}
+	}
+
 	c := &Campaign{
-		cfg:    cfg,
-		route:  route,
-		maps:   map[radio.Operator]*deploy.Map{},
-		fleet:  fleet,
-		logger: map[radio.Operator]*xcal.HandoverLogger{},
-		drive:  geo.NewDrive(route, cfg.Drive, rng),
-		rng:    rng,
+		cfg:   cfg,
+		route: route,
+		maps:  map[radio.Operator]*deploy.Map{},
+		fleet: fleet,
+		timeline: geo.NewTimeline(route, cfg.Drive, rng, geo.TimelineConfig{
+			Tick:  Tick,
+			Limit: cfg.Limit,
+			Hold:  hold,
+		}),
 	}
 	for _, op := range cfg.Operators {
 		m := deploy.NewMap(op, route, rng)
@@ -231,124 +238,76 @@ func NewCampaign(cfg Config) *Campaign {
 			specs: cfg.rotation(),
 		}
 		p.gapLeft = cfg.TestGap
-		c.phones = append(c.phones, p)
+		var logger *xcal.HandoverLogger
 		if !cfg.SkipPassive {
-			c.logger[op] = xcal.NewHandoverLogger(ran.UEConfig{Op: op, Map: m, ForceBest: cfg.DisablePolicy}, rng)
+			logger = xcal.NewHandoverLogger(ran.UEConfig{Op: op, Map: m, ForceBest: cfg.DisablePolicy}, rng)
 		}
+		c.lanes = append(c.lanes, &lane{
+			cfg:    &c.cfg,
+			op:     op,
+			phone:  p,
+			logger: logger,
+			m:      m,
+		})
 	}
 	return c
 }
 
-// Run executes the campaign and returns the raw logs.
+// Run executes the campaign and returns the raw logs. Lanes replay the
+// shared timeline on up to Config.Workers goroutines; the raw logs are
+// collected in fixed operator order, so the output does not depend on
+// scheduling.
 func (c *Campaign) Run() Raw {
-	staticDone := map[string]bool{}
-	limit := c.cfg.Limit
-	if limit <= 0 || limit > c.route.Total() {
-		limit = c.route.Total()
+	workers := c.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.lanes) {
+		workers = len(c.lanes)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 
-	for {
-		ds := c.drive.Step(Tick)
-		c.tickAll(ds)
-
-		// Static baseline battery on first arrival in each major city.
-		wp := ds.Waypoint
-		if !c.cfg.SkipStatic && wp.Region == geo.Urban && wp.CityDistance < 8*unit.Kilometer && !staticDone[wp.City] {
-			staticDone[wp.City] = true
-			c.runStaticBattery()
-		}
-
-		if ds.Done || ds.Odometer >= limit {
-			break
-		}
+	jobs := make(chan *lane)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := range jobs {
+				l.run(c.timeline.Cursor())
+			}
+		}()
 	}
-	// Close any files still open at trip end.
-	for _, p := range c.phones {
-		if p.rec.Recording() {
-			p.finishTest(c.drive.State())
-		}
+	for _, l := range c.lanes {
+		jobs <- l
 	}
+	close(jobs)
+	wg.Wait()
+
 	return c.collect()
 }
 
-// tickAll advances every phone and passive logger one tick.
-func (c *Campaign) tickAll(ds geo.DriveState) {
-	for _, p := range c.phones {
-		p.tick(c, ds)
-	}
-	for _, l := range c.logger {
-		l.Step(ds.Time, ds.Waypoint, ds.Speed.MPH(), Tick)
-	}
-}
-
-// runStaticBattery holds the vehicle and runs one full rotation of tests
-// marked static, mirroring the paper's per-city baselines. Carriers
-// without high-speed 5G at the spot are skipped, as the paper skipped
-// operator-city combinations without mmWave/midband connectivity.
-func (c *Campaign) runStaticBattery() {
-	var active []*phone
-	for _, p := range c.phones {
-		avail := c.maps[p.op].AvailableWithin(c.drive.State().Odometer, 12*unit.Kilometer)
-		if avail.Has(radio.NRMmWave) || avail.Has(radio.NRMid) {
-			if p.rec.Recording() {
-				p.finishTest(c.drive.State())
-			}
-			p.static = true
-			p.ue.SetStaticMode(true)
-			p.specIdx = 0
-			p.gapLeft = c.cfg.TestGap
-			active = append(active, p)
-		}
-	}
-	if len(active) == 0 {
-		return
-	}
-	// Run until every active phone completes one full rotation, with a
-	// generous tick budget as a backstop.
-	want := map[*phone]int{}
-	for _, p := range active {
-		want[p] = p.testsDone + len(p.specs)
-	}
-	maxTicks := int((2 * time.Hour) / Tick)
-	for i := 0; i < maxTicks; i++ {
-		ds := c.drive.Hold(Tick)
-		c.tickAll(ds)
-		done := true
-		for _, p := range active {
-			if p.testsDone < want[p] {
-				done = false
-				break
-			}
-		}
-		if done {
-			break
-		}
-	}
-	for _, p := range active {
-		if p.rec.Recording() {
-			p.finishTest(c.drive.State())
-		}
-		p.static = false
-		p.ue.SetStaticMode(false)
-	}
-}
-
-// collect gathers the raw outputs and meta accounting.
+// collect gathers the raw outputs and meta accounting, iterating lanes in
+// their fixed construction (operator) order.
 func (c *Campaign) collect() Raw {
+	final := c.timeline.Final()
 	raw := Raw{
 		Logger:           map[string][]xcal.LoggerRow{},
 		PassiveHandovers: map[string]int{},
 		Meta: dataset.Meta{
 			Seed:          c.cfg.Seed,
-			RouteKm:       c.drive.State().Odometer.Km(),
-			Days:          c.drive.State().Day + 1,
+			RouteKm:       final.Odometer.Km(),
+			Days:          final.Day + 1,
 			Start:         c.cfg.Drive.StartUTC,
 			RuntimeByOp:   map[string]time.Duration{},
 			UniqueCells:   map[string]int{},
 			HandoverTotal: map[string]int{},
 		},
 	}
-	for _, p := range c.phones {
+	for _, l := range c.lanes {
+		p := l.phone
 		raw.Files = append(raw.Files, p.files...)
 		raw.Apps = append(raw.Apps, p.apps...)
 		raw.Meta.BytesRx += p.bytesRx
@@ -356,10 +315,13 @@ func (c *Campaign) collect() Raw {
 		raw.Meta.RuntimeByOp[p.op.String()] = p.testTime
 		raw.Meta.UniqueCells[p.op.String()] = p.ue.UniqueCells()
 	}
-	for op, l := range c.logger {
-		raw.Logger[op.Short()] = l.Rows()
-		raw.PassiveHandovers[op.String()] = len(l.UE.Handovers())
-		raw.Meta.HandoverTotal[op.String()] = len(l.UE.Handovers())
+	for _, l := range c.lanes {
+		if l.logger == nil {
+			continue
+		}
+		raw.Logger[l.op.Short()] = l.logger.Rows()
+		raw.PassiveHandovers[l.op.String()] = len(l.logger.UE.Handovers())
+		raw.Meta.HandoverTotal[l.op.String()] = len(l.logger.UE.Handovers())
 	}
 	return raw
 }
@@ -388,16 +350,12 @@ func (c *Campaign) RunAndMerge() (*dataset.DB, error) {
 	return db, nil
 }
 
+// Timeline exposes the campaign's precomputed drive schedule.
+func (c *Campaign) Timeline() *geo.Timeline { return c.timeline }
+
 // Maps exposes the generated deployments (for examples and coverage
 // analysis that needs ground truth).
 func (c *Campaign) Maps() map[radio.Operator]*deploy.Map { return c.maps }
 
 // Route exposes the campaign route.
 func (c *Campaign) Route() *geo.Route { return c.route }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

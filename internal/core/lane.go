@@ -1,0 +1,70 @@
+package core
+
+import (
+	"github.com/nuwins/cellwheels/internal/deploy"
+	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/xcal"
+)
+
+// lane is one operator's measurement rig: the active phone, its passive
+// handover logger, and the operator's deployment map. A lane replays the
+// shared timeline independently of the other lanes — all its mutable
+// state (UE, recorder, random streams) is private, and the structures it
+// shares (route, map, fleet) are read-only after construction — so lanes
+// are safe to run on separate goroutines.
+type lane struct {
+	cfg    *Config
+	op     radio.Operator
+	phone  *phone
+	logger *xcal.HandoverLogger
+	m      *deploy.Map
+}
+
+// run replays the timeline through this lane's instruments.
+func (l *lane) run(cur *geo.Cursor) {
+	p := l.phone
+	inStatic := false
+	var last geo.DriveState
+	for {
+		ts, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if ts.HoldFirst {
+			// Static baseline battery: carriers without high-speed 5G
+			// near the stop are skipped, as the paper skipped
+			// operator-city combinations without mmWave/midband.
+			avail := l.m.AvailableWithin(ts.Odometer, staticSearchWindow)
+			if avail.Has(radio.NRMmWave) || avail.Has(radio.NRMid) {
+				if p.rec.Recording() {
+					p.finishTest(l.cfg, ts.DriveState)
+				}
+				p.static = true
+				p.ue.SetStaticMode(true)
+				p.specIdx = 0
+				p.gapLeft = l.cfg.TestGap
+				inStatic = true
+			}
+		}
+
+		p.tick(l.cfg, ts.DriveState)
+		if l.logger != nil {
+			l.logger.Step(ts.Time, ts.Waypoint, ts.Speed.MPH(), Tick)
+		}
+
+		if ts.HoldLast && inStatic {
+			if p.rec.Recording() {
+				p.finishTest(l.cfg, ts.DriveState)
+			}
+			p.static = false
+			p.ue.SetStaticMode(false)
+			inStatic = false
+		}
+		last = ts.DriveState
+	}
+	// Close any file still open at trip end.
+	if p.rec.Recording() {
+		p.finishTest(l.cfg, last)
+	}
+}

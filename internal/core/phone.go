@@ -13,10 +13,52 @@ import (
 	"github.com/nuwins/cellwheels/internal/geo"
 	"github.com/nuwins/cellwheels/internal/logsync"
 	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/ran"
+	"github.com/nuwins/cellwheels/internal/simrand"
 	"github.com/nuwins/cellwheels/internal/transport"
 	"github.com/nuwins/cellwheels/internal/unit"
 	"github.com/nuwins/cellwheels/internal/xcal"
 )
+
+// phone is one operator's active test handset: a UE, an XCAL recorder,
+// and the round-robin rotation state. All of it is private to one lane.
+type phone struct {
+	op    radio.Operator
+	ue    *ran.UE
+	rec   *xcal.Recorder
+	rng   *simrand.Source
+	fleet []cloud.Server
+
+	// rotation state
+	specs   []testSpec
+	specIdx int
+	gapLeft time.Duration
+
+	// current test state
+	inTest    bool
+	spec      testSpec
+	testLeft  time.Duration
+	testStart time.Time
+	static    bool
+	server    cloud.Server
+	appLog    logsync.AppLog
+
+	flow      *transport.Flow
+	pinger    *transport.Pinger
+	offRun    *offload.Runner
+	vidRun    *video.Session
+	gameRun   *gaming.Session
+	prevApp   unit.Bytes
+	hoSeen    int
+	testTime  time.Duration // cumulative test runtime (Table 1)
+	testsDone int
+
+	files []xcal.File
+	apps  []logsync.AppLog
+
+	bytesRx unit.Bytes
+	bytesTx unit.Bytes
+}
 
 // trafficFor maps a test kind to the offered-traffic profile the
 // elevation policy sees.
@@ -43,21 +85,21 @@ func stampFor(k dataset.TestKind) logsync.StampKind {
 }
 
 // tick advances the phone one simulation step.
-func (p *phone) tick(c *Campaign, ds geo.DriveState) {
+func (p *phone) tick(cfg *Config, ds geo.DriveState) {
 	if p.inTest {
-		p.tickTest(c, ds)
+		p.tickTest(cfg, ds)
 		return
 	}
 	// Idle gap between tests: the UE stays attached under idle traffic.
 	p.ue.Step(ds.Time, ds.Waypoint, ds.Speed.MPH(), Tick)
 	p.gapLeft -= Tick
 	if p.gapLeft <= 0 {
-		p.startTest(c, ds)
+		p.startTest(cfg, ds)
 	}
 }
 
 // startTest opens the next rotation slot.
-func (p *phone) startTest(c *Campaign, ds geo.DriveState) {
+func (p *phone) startTest(cfg *Config, ds geo.DriveState) {
 	p.spec = p.specs[p.specIdx]
 	p.specIdx = (p.specIdx + 1) % len(p.specs)
 
@@ -71,7 +113,7 @@ func (p *phone) startTest(c *Campaign, ds geo.DriveState) {
 	p.ue.SetTraffic(trafficFor(kind), ds.Time, ds.Waypoint)
 
 	p.inTest = true
-	p.testLeft = c.cfg.testDuration(kind)
+	p.testLeft = cfg.testDuration(kind)
 	p.testStart = ds.Time
 	p.prevApp = 0
 	p.flow = nil
@@ -86,7 +128,7 @@ func (p *phone) startTest(c *Campaign, ds geo.DriveState) {
 
 	switch kind {
 	case dataset.ThroughputDL, dataset.ThroughputUL:
-		p.flow = transport.NewFlowOptions(testRNG.Fork("flow"), c.cfg.Transport)
+		p.flow = transport.NewFlowOptions(testRNG.Fork("flow"), cfg.Transport)
 	case dataset.RTTTest:
 		p.pinger = transport.NewPinger(testRNG.Fork("ping"))
 	case dataset.AppAR:
@@ -112,7 +154,7 @@ func (p *phone) startTest(c *Campaign, ds geo.DriveState) {
 		Static:      p.static,
 		Compressed:  p.spec.compressed,
 		Stamp:       stampFor(kind),
-		DurationSec: c.cfg.testDuration(kind).Seconds(),
+		DurationSec: cfg.testDuration(kind).Seconds(),
 	}
 	switch p.appLog.Stamp {
 	case logsync.StampUTC:
@@ -129,7 +171,7 @@ func (p *phone) startTest(c *Campaign, ds geo.DriveState) {
 }
 
 // tickTest advances the active test by one tick.
-func (p *phone) tickTest(c *Campaign, ds geo.DriveState) {
+func (p *phone) tickTest(cfg *Config, ds geo.DriveState) {
 	st := p.ue.Step(ds.Time, ds.Waypoint, ds.Speed.MPH(), Tick)
 
 	// Forward any new signaling events to the recorder.
@@ -185,12 +227,12 @@ func (p *phone) tickTest(c *Campaign, ds geo.DriveState) {
 	p.testLeft -= Tick
 	p.testTime += Tick
 	if p.testLeft <= 0 {
-		p.finishTest(ds)
+		p.finishTest(cfg, ds)
 	}
 }
 
 // finishTest closes the open test and queues its logs.
-func (p *phone) finishTest(ds geo.DriveState) {
+func (p *phone) finishTest(cfg *Config, ds geo.DriveState) {
 	switch p.spec.kind {
 	case dataset.AppAR, dataset.AppCAV:
 		if p.offRun != nil {
@@ -224,7 +266,7 @@ func (p *phone) finishTest(ds geo.DriveState) {
 	p.apps = append(p.apps, p.appLog)
 	p.inTest = false
 	p.testsDone++
-	p.gapLeft = 5 * time.Second
+	p.gapLeft = cfg.TestGap
 	// Between tests the phone goes idle; stickiness may retain the tech.
 	p.ue.SetTraffic(deploy.Idle, ds.Time, ds.Waypoint)
 }

@@ -312,8 +312,16 @@ func Merge(in Input) (*dataset.DB, Report, error) {
 		}
 	}
 
-	// Passive coverage rows.
-	for opShort, rows := range in.Logger {
+	// Passive coverage rows. Iterate operators in sorted-key order — map
+	// iteration order would otherwise leak into tie-breaks between rows
+	// with identical timestamps across operators.
+	loggerOps := make([]string, 0, len(in.Logger))
+	for opShort := range in.Logger {
+		loggerOps = append(loggerOps, opShort)
+	}
+	sort.Strings(loggerOps)
+	for _, opShort := range loggerOps {
+		rows := in.Logger[opShort]
 		op, ok := radio.ParseOperatorShort(opShort)
 		if !ok {
 			return nil, rep, fmt.Errorf("logsync: unknown logger operator %q", opShort)
@@ -453,12 +461,45 @@ func nearestOdo(rows []normRow, at time.Time, route *geo.Route) unit.Meters {
 	return route.OdometerOf(geo.LatLon{Lat: r.raw.Lat, Lon: r.raw.Lon})
 }
 
-// sortDB orders every table by time for reproducible output.
+// sortDB orders every table for reproducible output. Sorts are stable and
+// carry explicit tie-breakers: samples from different tests (or, for
+// passive rows, different operators) can share a timestamp, and a sort
+// keyed on time alone would leave their relative order input-dependent.
 func sortDB(db *dataset.DB) {
-	sort.Slice(db.Tests, func(i, j int) bool { return db.Tests[i].ID < db.Tests[j].ID })
-	sort.Slice(db.Throughput, func(i, j int) bool { return db.Throughput[i].Time.Before(db.Throughput[j].Time) })
-	sort.Slice(db.RTT, func(i, j int) bool { return db.RTT[i].Time.Before(db.RTT[j].Time) })
-	sort.Slice(db.Handovers, func(i, j int) bool { return db.Handovers[i].Time.Before(db.Handovers[j].Time) })
-	sort.Slice(db.AppRuns, func(i, j int) bool { return db.AppRuns[i].Start.Before(db.AppRuns[j].Start) })
-	sort.Slice(db.Passive, func(i, j int) bool { return db.Passive[i].Time.Before(db.Passive[j].Time) })
+	sort.SliceStable(db.Tests, func(i, j int) bool { return db.Tests[i].ID < db.Tests[j].ID })
+	sort.SliceStable(db.Throughput, func(i, j int) bool {
+		a, b := db.Throughput[i], db.Throughput[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.TestID < b.TestID
+	})
+	sort.SliceStable(db.RTT, func(i, j int) bool {
+		a, b := db.RTT[i], db.RTT[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.TestID < b.TestID
+	})
+	sort.SliceStable(db.Handovers, func(i, j int) bool {
+		a, b := db.Handovers[i], db.Handovers[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.TestID < b.TestID
+	})
+	sort.SliceStable(db.AppRuns, func(i, j int) bool {
+		a, b := db.AppRuns[i], db.AppRuns[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		return a.TestID < b.TestID
+	})
+	sort.SliceStable(db.Passive, func(i, j int) bool {
+		a, b := db.Passive[i], db.Passive[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.Op < b.Op
+	})
 }
