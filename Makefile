@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench lint lint-fixtures ci
 
 build:
 	$(GO) build ./...
@@ -19,4 +19,15 @@ vet:
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkCampaignRun -benchtime=1x .
 
-ci: vet build race
+# lint runs the in-repo determinism & correctness linter (internal/lint)
+# over every package; findings fail the build. Suppress intentional uses
+# at the call site with `//lint:allow <rule> — reason`.
+lint:
+	$(GO) run ./cmd/lintwheels ./...
+
+# lint-fixtures self-checks the rule corpus: every rule's testdata
+# fixtures must produce exactly the golden diagnostics.
+lint-fixtures:
+	$(GO) test ./internal/lint/...
+
+ci: vet build lint race

@@ -167,7 +167,15 @@ func (s *Study) WriteCoverageGeoJSON(dir string) error {
 	if err := os.WriteFile(filepath.Join(dir, "route.geojson"), routeJSON, 0o644); err != nil {
 		return fmt.Errorf("cellwheels: %w", err)
 	}
-	for op, m := range s.campaign.Maps() {
+	// Iterate operators in their canonical order, not map order, so the
+	// set of written files is produced (and any error surfaced)
+	// deterministically.
+	maps := s.campaign.Maps()
+	for _, op := range radio.Operators() {
+		m, ok := maps[op]
+		if !ok {
+			continue
+		}
 		for _, tech := range radio.Technologies() {
 			frags := m.Fragments(tech)
 			if len(frags) == 0 {
@@ -210,8 +218,11 @@ func (s *Study) WriteCSV(dir string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return fn(f)
+		werr := fn(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return werr
 	}
 	if err := write("throughput.csv", s.db.WriteThroughputCSV); err != nil {
 		return err

@@ -76,6 +76,26 @@ func TestReportContainsEverything(t *testing.T) {
 	}
 }
 
+// TestReportByteIdentical pins the determinism invariant end to end: two
+// independent runs of the same config must render byte-for-byte the same
+// report. Aggregation walking a map in randomized order would break this
+// (float summation is order-sensitive) — exactly what the maprange lint
+// rule guards against statically.
+func TestReportByteIdentical(t *testing.T) {
+	cfg := Config{Seed: 17, LimitKm: 30, VideoSeconds: 15, GamingSeconds: 10}
+	report := func() string {
+		t.Helper()
+		s, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Report()
+	}
+	if a, b := report(), report(); a != b {
+		t.Error("Study.Report() differs between two runs of the same config")
+	}
+}
+
 func TestJSONRoundTrip(t *testing.T) {
 	s := quickStudy(t)
 	var buf bytes.Buffer

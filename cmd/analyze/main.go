@@ -35,7 +35,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow uncheckederr — the dataset is only read; a close failure cannot corrupt it
 	study, err := cellwheels.Load(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)

@@ -47,7 +47,7 @@ func main() {
 		DisablePolicy: *disablePolicy,
 		Workers:       *workers,
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow nondet — times the run itself for the stderr banner; never feeds the simulation
 	var study *cellwheels.Study
 	var err error
 	if *rawDir != "" {
@@ -62,6 +62,7 @@ func main() {
 	if *rawDir != "" {
 		fmt.Fprintf(os.Stderr, "raw captures archived to %s/\n", *rawDir)
 	}
+	//lint:allow nondet — times the run itself for the stderr banner; never feeds the simulation
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Fprint(os.Stderr, study.Summary())
 
@@ -70,8 +71,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "drivetest:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
-	if err := study.WriteJSON(f); err != nil {
+	err = study.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "drivetest:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,84 @@
+// Command lintwheels runs the repository's determinism & correctness
+// linter (internal/lint) over the module: a stdlib-only static-analysis
+// pass that keeps campaigns a pure function of (Config, seed).
+//
+// Usage:
+//
+//	lintwheels ./...              # lint every package in the module
+//	lintwheels ./internal/...     # lint a subtree
+//	lintwheels -rules             # list the rule suite and exit
+//
+// Diagnostics print as "file:line:col: [rule] message", sorted by file
+// and position; the exit status is non-zero when anything is found.
+// Intentional violations are silenced at the call site with
+// "//lint:allow <rule> — reason".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/nuwins/cellwheels/internal/lint"
+)
+
+func main() {
+	var (
+		chdir     = flag.String("C", "", "change to this directory before linting")
+		listRules = flag.Bool("rules", false, "list rules and exit")
+	)
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.AllRules() {
+			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	dir := *chdir
+	if dir == "" {
+		dir = "."
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintwheels:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(root, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintwheels:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.AllRules())
+	for _, d := range diags {
+		// Print module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lintwheels: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -42,7 +42,9 @@ func main() {
 		if err := fn(f); err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 		return path
 	}
 	tputPath := write("throughput.csv", func(f *os.File) error { return db.WriteThroughputCSV(f) })
@@ -58,7 +60,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		defer f.Close() //lint:allow uncheckederr — the CSV is only read; a close failure cannot corrupt it
 		if err := load(f); err != nil {
 			log.Fatal(err)
 		}

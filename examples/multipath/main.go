@@ -60,14 +60,25 @@ func main() {
 			w[s.Op] = s.Mbps
 		}
 
+		// Walk windows in time order, not map order: the per-window values
+		// are appended to slices (and summed in floating point), so a
+		// randomized order would change the printed medians run to run.
+		starts := make([]time.Time, 0, len(windows))
+		for key := range windows {
+			starts = append(starts, key)
+		}
+		sort.SliceStable(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+
 		single := map[radio.Operator][]float64{}
 		var best, bonded []float64
-		for _, w := range windows {
+		for _, key := range starts {
+			w := windows[key]
 			if len(w) != 3 {
 				continue // need all three carriers measured concurrently
 			}
 			mx, sum := 0.0, 0.0
-			for op, v := range w {
+			for _, op := range radio.Operators() {
+				v := w[op]
 				single[op] = append(single[op], v)
 				if v > mx {
 					mx = v

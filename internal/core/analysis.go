@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"text/tabwriter"
 
@@ -25,7 +26,7 @@ func renderTable(title string, header []string, rows [][]string) string {
 	for _, r := range rows {
 		fmt.Fprintln(w, strings.Join(r, "\t"))
 	}
-	w.Flush()
+	w.Flush() //lint:allow uncheckederr — tabwriter over a strings.Builder cannot fail
 	return b.String()
 }
 
@@ -41,6 +42,18 @@ func summarizeOrZero(xs []float64) stats.Summary {
 		return stats.Summary{}
 	}
 	return s
+}
+
+// sortedTestIDs returns the keys of a per-test sample map in ascending
+// ID order, so aggregation walks tests deterministically instead of in
+// randomized map order.
+func sortedTestIDs(m map[int][]float64) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // techLetter is the single-character code used in coverage strips.

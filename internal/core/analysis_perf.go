@@ -285,7 +285,11 @@ func FigureLongTimescale(db *dataset.DB) LongTimescale {
 	}
 	means := map[opDir][]float64{}
 	stds := map[opDir][]float64{}
-	for id, xs := range byTest {
+	// Walk tests in ID order, not map order: the per-test means are
+	// accumulated into float slices whose summation order must be fixed
+	// for the report to be byte-identical across runs.
+	for _, id := range sortedTestIDs(byTest) {
+		xs := byTest[id]
 		t := testInfo[id]
 		dir := radio.Downlink
 		if t.Kind == dataset.ThroughputUL {
@@ -315,7 +319,8 @@ func FigureLongTimescale(db *dataset.DB) LongTimescale {
 	}
 	rttMeans := map[radio.Operator][]float64{}
 	rttStds := map[radio.Operator][]float64{}
-	for id, xs := range rttByTest {
+	for _, id := range sortedTestIDs(rttByTest) {
+		xs := rttByTest[id]
 		t := testInfo[id]
 		sum := summarizeOrZero(xs)
 		rttMeans[t.Op] = append(rttMeans[t.Op], sum.Mean)

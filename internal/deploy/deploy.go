@@ -256,7 +256,14 @@ func (m *Map) placeCells(t radio.Technology, src *simrand.Source) []Cell {
 	// Fragment overhang (a site just past a fragment's end) can place a
 	// cell beyond the next fragment's first site; keep the slice ordered
 	// for binary search.
-	sort.Slice(cells, func(i, j int) bool { return cells[i].Odometer < cells[j].Odometer })
+	// Stable sort with an ID tie-breaker: two cells at the same odometer
+	// (possible at fragment boundaries) must keep one canonical order.
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].Odometer != cells[j].Odometer {
+			return cells[i].Odometer < cells[j].Odometer
+		}
+		return cells[i].ID < cells[j].ID
+	})
 	return cells
 }
 

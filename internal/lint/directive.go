@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"strings"
+)
+
+// DirectiveRule is the pseudo-rule name under which malformed //lint:
+// comments are reported. It is not a Rule: directives are parsed by the
+// framework itself so a broken opt-out can never silently disable a check.
+const DirectiveRule = "directive"
+
+// allowPrefix introduces an opt-out comment:
+//
+//	//lint:allow <rule> — reason
+//
+// The reason is mandatory: an undocumented suppression is worth less than
+// the finding it hides. Both the em dash and a plain "--" separate the
+// rule name from the reason. A directive applies to findings of <rule> on
+// its own line or on the line directly below (for a directive placed on
+// its own line above the flagged statement).
+const allowPrefix = "lint:allow"
+
+// Directive is one parsed //lint:allow comment.
+type Directive struct {
+	Rule   string
+	Reason string
+	// File and Line locate the directive itself.
+	File string
+	Line int
+}
+
+// allowSet indexes valid directives by file and line for suppression.
+type allowSet map[string]map[int]map[string]bool // file -> line -> rule
+
+func (s allowSet) add(d Directive) {
+	if s[d.File] == nil {
+		s[d.File] = map[int]map[string]bool{}
+	}
+	if s[d.File][d.Line] == nil {
+		s[d.File][d.Line] = map[string]bool{}
+	}
+	s[d.File][d.Line][d.Rule] = true
+}
+
+// suppresses reports whether a directive covers the diagnostic: same
+// rule, same file, on the diagnostic's line or the line above it.
+func (s allowSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Rule] || lines[d.Pos.Line-1][d.Rule]
+}
+
+// parseAllow splits one comment's text into a directive. text is the raw
+// comment including the "//" marker. ok is false when the comment is not
+// a lint directive at all; errMsg is non-empty when it is one but is
+// malformed (unknown verb, missing rule, missing reason).
+func parseAllow(text string, known map[string]bool) (rule, reason string, ok bool, errMsg string) {
+	body, isLine := strings.CutPrefix(text, "//")
+	if !isLine {
+		return "", "", false, "" // block comments never carry directives
+	}
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, "lint:") {
+		return "", "", false, ""
+	}
+	rest, isAllow := strings.CutPrefix(body, allowPrefix)
+	if isAllow && rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		isAllow = false // e.g. "lint:allowfoo" is an unknown verb, not allow
+	}
+	if !isAllow {
+		verb, _, _ := strings.Cut(strings.TrimPrefix(body, "lint:"), " ")
+		return "", "", true, "unknown lint directive " + strings.TrimSpace("lint:"+verb) + "; only //lint:allow <rule> — reason is recognized"
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", "", true, "lint:allow needs a rule name: //lint:allow <rule> — reason"
+	}
+	rule, rest, _ = strings.Cut(rest, " ")
+	if !known[rule] {
+		return "", "", true, "lint:allow names unknown rule " + rule + " (known: " + strings.Join(RuleNames(), ", ") + ")"
+	}
+	reason = strings.TrimSpace(rest)
+	for _, sep := range []string{"—", "--", "-"} {
+		if cut, found := strings.CutPrefix(reason, sep); found {
+			reason = strings.TrimSpace(cut)
+			break
+		}
+	}
+	if reason == "" {
+		return rule, "", true, "lint:allow " + rule + " needs a reason: //lint:allow " + rule + " — reason"
+	}
+	return rule, reason, true, ""
+}
+
+// collectDirectives extracts every //lint: comment in the package,
+// returning the valid suppressions plus diagnostics for malformed ones.
+func collectDirectives(p *Package, known map[string]bool) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var malformed []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule, reason, isDirective, errMsg := parseAllow(c.Text, known)
+				pos := p.Fset.Position(c.Pos())
+				if !isDirective {
+					continue
+				}
+				if errMsg != "" {
+					malformed = append(malformed, Diagnostic{Pos: pos, Rule: DirectiveRule, Msg: errMsg})
+					continue
+				}
+				allows.add(Directive{Rule: rule, Reason: reason, File: pos.Filename, Line: pos.Line})
+			}
+		}
+	}
+	return allows, malformed
+}

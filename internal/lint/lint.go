@@ -1,0 +1,222 @@
+// Package lint is a stdlib-only static-analysis framework guarding the
+// repository's determinism invariant: a campaign must be a pure function
+// of (Config, seed), byte-identical across runs, worker counts, and
+// hosts. Nothing in the Go toolchain enforces that — a stray time.Now, a
+// global math/rand draw, or an unsorted map iteration feeding a report
+// all compile fine and silently break replayability. The rules here turn
+// the invariant into a machine-checked property.
+//
+// The framework loads every package in the module with go/parser and
+// typechecks it with go/types (see load.go), then runs each Rule over
+// each package. Diagnostics are sorted by file and position so the
+// linter's own output is deterministic. Intentional violations are
+// documented at the call site with a directive:
+//
+//	//lint:allow <rule> — reason
+//
+// (see directive.go). The cmd/lintwheels binary drives the whole thing
+// and exits non-zero on findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by resolved source position.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the canonical "file:line:col: [rule] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Package is one loaded, typechecked package presented to rules.
+type Package struct {
+	Fset *token.FileSet
+	// Path is the import path ("github.com/nuwins/cellwheels/internal/core").
+	Path string
+	// Rel is the module-relative directory with forward slashes; "" is the
+	// module root. Rules use it for scoping (e.g. nondet applies under
+	// internal/ and cmd/).
+	Rel string
+	// Dir is the absolute directory the files were read from.
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Rule is one determinism/correctness check.
+type Rule interface {
+	// Name is the short identifier printed in brackets and accepted by
+	// //lint:allow directives.
+	Name() string
+	// Doc is a one-line description for documentation and -rules output.
+	Doc() string
+	// Check inspects one package and reports findings.
+	Check(p *Package, r *Reporter)
+}
+
+// Reporter collects diagnostics for one (package, rule) pair.
+type Reporter struct {
+	fset *token.FileSet
+	rule string
+	out  *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	*r.out = append(*r.out, Diagnostic{
+		Pos:  r.fset.Position(pos),
+		Rule: r.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AllRules returns the full rule suite in documentation order.
+func AllRules() []Rule {
+	return []Rule{
+		NondetRule{},
+		SeededRandRule{},
+		MapRangeRule{},
+		UncheckedErrRule{},
+		SortStableRule{},
+	}
+}
+
+// RuleNames reports the names AllRules answers to, plus the internal
+// "directive" pseudo-rule used for malformed //lint: comments.
+func RuleNames() []string {
+	names := make([]string, 0, len(AllRules())+1)
+	for _, r := range AllRules() {
+		names = append(names, r.Name())
+	}
+	names = append(names, DirectiveRule)
+	return names
+}
+
+// Run applies rules to every package, resolves //lint:allow directives,
+// and returns the surviving diagnostics sorted by file, position, rule,
+// and message — so linter output is itself deterministic.
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	known := map[string]bool{}
+	for _, r := range rules {
+		known[r.Name()] = true
+	}
+
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		allows, malformed := collectDirectives(p, known)
+		diags = append(diags, malformed...)
+
+		var raw []Diagnostic
+		for _, rule := range rules {
+			rule.Check(p, &Reporter{fset: p.Fset, rule: rule.Name(), out: &raw})
+		}
+		for _, d := range raw {
+			if !allows.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	Sort(diags)
+	return diags
+}
+
+// Sort orders diagnostics by file, then position, then rule and message.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// inspectWithStack walks every file of p, calling visit with each node
+// and the stack of its ancestors (outermost first, n last).
+func inspectWithStack(p *Package, visit func(n ast.Node, stack []ast.Node)) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			visit(n, stack)
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the innermost function body on the stack, or nil.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn
+		case *ast.FuncLit:
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves the function a call ultimately invokes, or nil for
+// builtins, conversions, and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcPkgPath reports the defining package path of fn ("" for universe).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isPkgLevel reports whether fn is a package-level function (no receiver).
+func isPkgLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// underSim reports whether a module-relative dir is part of the simulation
+// or its drivers: the module root facade, internal/*, and cmd/*. Examples
+// and the fixture corpus are out of scope.
+func underSim(rel string) bool {
+	if rel == "" {
+		return true
+	}
+	return strings.HasPrefix(rel, "internal/") || rel == "internal" ||
+		strings.HasPrefix(rel, "cmd/") || rel == "cmd"
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/*/expected.txt goldens")
+
+// loadFixtureT loads one fixture dir, presenting it at a module-relative
+// path under internal/ so path-scoped rules apply.
+func loadFixtureT(t *testing.T, name string) *Package {
+	t.Helper()
+	p, err := LoadFixture(filepath.Join("testdata", name), "internal/fixture/"+filepath.ToSlash(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// render formats diagnostics with fixture-relative file names, one per
+// line — the exact golden format.
+func render(dir string, diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestRuleFixtures runs each rule over its fixture corpus and compares
+// the diagnostics against the expected.txt golden. Run with -update to
+// regenerate the goldens after changing a rule or fixture.
+func TestRuleFixtures(t *testing.T) {
+	cases := []struct {
+		name  string
+		rules []Rule
+	}{
+		{"nondet", []Rule{NondetRule{}}},
+		{"seededrand", []Rule{SeededRandRule{}}},
+		{"maprange", []Rule{MapRangeRule{}}},
+		{"uncheckederr", []Rule{UncheckedErrRule{}}},
+		{"sortstable", []Rule{SortStableRule{}}},
+		{"directive", AllRules()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", tc.name)
+			got := render(dir, Run([]*Package{loadFixtureT(t, tc.name)}, tc.rules))
+			golden := filepath.Join(dir, "expected.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesExerciseEveryRule guards the corpus itself: each rule must
+// have at least one finding in its fixture, or the golden test is
+// vacuously green.
+func TestFixturesExerciseEveryRule(t *testing.T) {
+	for _, rule := range AllRules() {
+		p := loadFixtureT(t, rule.Name())
+		diags := Run([]*Package{p}, []Rule{rule})
+		found := false
+		for _, d := range diags {
+			if d.Rule == rule.Name() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fixture testdata/%s produces no %s findings", rule.Name(), rule.Name())
+		}
+	}
+}
+
+// TestDiagnosticOrdering feeds two multi-file packages to Run in reversed
+// order and requires the output sorted by file, then position — the
+// property that makes the linter's own output deterministic.
+func TestDiagnosticOrdering(t *testing.T) {
+	p1 := loadFixtureT(t, filepath.Join("ordering", "p1"))
+	p2 := loadFixtureT(t, filepath.Join("ordering", "p2"))
+
+	diags := Run([]*Package{p2, p1}, AllRules()) // deliberately reversed
+	if len(diags) == 0 {
+		t.Fatal("ordering fixtures produced no diagnostics")
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename {
+			t.Errorf("diagnostic %d (%s) sorted after %s", i-1, a.Pos.Filename, b.Pos.Filename)
+		}
+		if a.Pos.Filename == b.Pos.Filename && (a.Pos.Line > b.Pos.Line ||
+			(a.Pos.Line == b.Pos.Line && a.Pos.Column > b.Pos.Column)) {
+			t.Errorf("within %s, position %d:%d sorted after %d:%d",
+				a.Pos.Filename, a.Pos.Line, a.Pos.Column, b.Pos.Line, b.Pos.Column)
+		}
+	}
+
+	var seq []string
+	for _, d := range diags {
+		seq = append(seq, filepath.Base(d.Pos.Filename)+":"+d.Rule)
+	}
+	want := []string{
+		"a.go:nondet", "a.go:nondet", // two time.Now in p1/a.go
+		"b.go:nondet",     // os.Getenv in p1/b.go
+		"c.go:sortstable", // sort.Slice in p2/c.go
+		"c.go:nondet",     // time.Since in p2/c.go
+	}
+	if strings.Join(seq, " ") != strings.Join(want, " ") {
+		t.Errorf("diagnostic sequence = %v, want %v", seq, want)
+	}
+}
+
+// TestLoadModuleSelf loads the real module and checks the linter can see
+// every package (and that this package reports itself lint-clean, since
+// `make lint` gates CI on exactly that).
+func TestLoadModuleSelf(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root, "./internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Rel != "internal/lint" {
+		t.Fatalf("LoadModule(./internal/lint) = %d pkgs, want exactly internal/lint", len(pkgs))
+	}
+	if diags := Run(pkgs, AllRules()); len(diags) != 0 {
+		t.Errorf("internal/lint is not lint-clean: %v", diags)
+	}
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NondetRule bans ambient sources of nondeterminism — wall-clock reads,
+// the process-global math/rand source, and environment lookups — inside
+// the simulation packages (module root, internal/, cmd/). A campaign is
+// specified to be a pure function of (Config, seed); any of these calls
+// makes its output depend on the host instead. Time must come from the
+// simulated clock, randomness from internal/simrand, and configuration
+// from flags or Config fields.
+type NondetRule struct{}
+
+func (NondetRule) Name() string { return "nondet" }
+
+func (NondetRule) Doc() string {
+	return "ban time.Now/time.Since, global math/rand, and os.Getenv in simulation packages"
+}
+
+// globalRandConstructors are the math/rand entry points that do NOT draw
+// from the process-global source; they are seededrand's business, not
+// nondet's.
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (NondetRule) Check(p *Package, r *Reporter) {
+	if !underSim(p.Rel) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || !isPkgLevel(fn) {
+				return true
+			}
+			switch funcPkgPath(fn) {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					r.Reportf(call.Pos(), "wall-clock time.%s makes the run depend on the host; derive timestamps from the simulated clock", fn.Name())
+				}
+			case "os":
+				switch fn.Name() {
+				case "Getenv", "LookupEnv", "Environ":
+					r.Reportf(call.Pos(), "os.%s makes the run depend on the host environment; plumb settings through Config or flags", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandConstructors[fn.Name()] {
+					r.Reportf(call.Pos(), "global math/rand.%s draws from the process-wide source shared across goroutines; draw from an internal/simrand stream", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

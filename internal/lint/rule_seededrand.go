@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SeededRandRule enforces that every random stream flows from
+// internal/simrand's forkable seed tree. A raw rand.New(rand.NewSource(n))
+// anywhere else is deterministic in isolation but breaks the campaign's
+// stream-independence guarantee: draws start depending on construction
+// order and sibling streams, which is exactly what simrand.Fork exists to
+// prevent. Only internal/simrand itself may touch the math/rand
+// constructors.
+type SeededRandRule struct{}
+
+func (SeededRandRule) Name() string { return "seededrand" }
+
+func (SeededRandRule) Doc() string {
+	return "require RNGs to come from internal/simrand; no raw rand.New/rand.NewSource elsewhere"
+}
+
+func (SeededRandRule) Check(p *Package, r *Reporter) {
+	if p.Rel == "internal/simrand" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || !isPkgLevel(fn) {
+				return true
+			}
+			switch funcPkgPath(fn) {
+			case "math/rand", "math/rand/v2":
+				if globalRandConstructors[fn.Name()] {
+					r.Reportf(call.Pos(), "rand.%s bypasses the seeded stream tree; fork a named stream from internal/simrand instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SortStableRule flags sort.Slice over slices of record types (structs or
+// pointers to structs). sort.Slice is unstable: two records that compare
+// equal under the less function may land in either order, so a table or
+// report built from the result can differ between runs even though every
+// individual comparison is deterministic. Record sorts must either use
+// sort.SliceStable or spell out a total order with tie-breakers; sorts of
+// plain scalars ([]int, []float64) are exempt because equal scalars are
+// indistinguishable.
+type SortStableRule struct{}
+
+func (SortStableRule) Name() string { return "sortstable" }
+
+func (SortStableRule) Doc() string {
+	return "require sort.SliceStable (or a total order) when sorting record/report slices"
+}
+
+func (SortStableRule) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || funcPkgPath(fn) != "sort" || fn.Name() != "Slice" || len(call.Args) == 0 {
+				return true
+			}
+			if name, isRecord := recordSliceElem(p.Info.TypeOf(call.Args[0])); isRecord {
+				r.Reportf(call.Pos(), "sort.Slice on []%s is not stable; equal records may reorder between runs — use sort.SliceStable or a total-order tie-breaker", name)
+			}
+			return true
+		})
+	}
+}
+
+// recordSliceElem reports whether t is a slice of structs (or pointers to
+// structs) and names the element type.
+func recordSliceElem(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return "", false
+	}
+	elem := sl.Elem()
+	name := types.TypeString(elem, func(p *types.Package) string { return p.Name() })
+	under := elem.Underlying()
+	if ptr, ok := under.(*types.Pointer); ok {
+		under = ptr.Elem().Underlying()
+	}
+	_, isStruct := under.(*types.Struct)
+	return name, isStruct
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedErrRule flags write-path calls whose error result is silently
+// dropped: Write*/Flush/Close/Sync used as a bare statement (including
+// defer and go). In the report and archive paths a swallowed error means
+// a truncated CSV, a half-written .drm, or a report that differs from the
+// dataset it claims to render. Receivers documented to never fail —
+// strings.Builder, bytes.Buffer, and hash.Hash implementations — are
+// exempt, as is an explicit `_ = call()` (a visible, reviewable discard).
+type UncheckedErrRule struct{}
+
+func (UncheckedErrRule) Name() string { return "uncheckederr" }
+
+func (UncheckedErrRule) Doc() string {
+	return "flag dropped errors from Write*/Flush/Close/Sync on writers in report/archive paths"
+}
+
+func (UncheckedErrRule) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || !isWriteish(fn.Name()) || !returnsError(fn) {
+				return true
+			}
+			if recv := callReceiverType(p.Info, call, fn); recv != nil && infallibleWriter(recv) {
+				return true
+			}
+			r.Reportf(call.Pos(), "the error from %s is dropped; a failed write/flush/close silently corrupts the output (check it, or `_ =` to discard explicitly)", fn.Name())
+			return true
+		})
+	}
+}
+
+func isWriteish(name string) bool {
+	switch name {
+	case "Flush", "Close", "Sync":
+		return true
+	}
+	return strings.HasPrefix(name, "Write")
+}
+
+// returnsError reports whether fn's last result is the error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// callReceiverType reports the static type the method is invoked on. The
+// selection's receiver is preferred over fn's declared receiver: a
+// hash.Hash64 value calling Write resolves to io.Writer's method, but the
+// exemption must judge the hash interface the caller actually holds.
+func callReceiverType(info *types.Info, call *ast.CallExpr, fn *types.Func) types.Type {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return s.Recv()
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// infallibleWriter recognizes receivers whose write methods are
+// documented to never return an error.
+func infallibleWriter(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	// hash.Hash documents "Write (via the embedded io.Writer interface)
+	// never returns an error"; recognize the contract structurally. For
+	// concrete receivers consult the pointer method set, for interface
+	// receivers (hash.Hash32/64 values) the interface's own.
+	recv := types.Type(types.NewPointer(t))
+	if types.IsInterface(t) {
+		recv = t
+	}
+	ms := types.NewMethodSet(recv)
+	for _, need := range []string{"Sum", "Reset", "Size", "BlockSize"} {
+		if lookupMethod(ms, need) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func lookupMethod(ms *types.MethodSet, name string) *types.Selection {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return ms.At(i)
+		}
+	}
+	return nil
+}

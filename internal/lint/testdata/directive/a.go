@@ -1,0 +1,32 @@
+// Fixture for //lint:allow directive semantics: what suppresses, what is
+// malformed, and how far a directive reaches.
+package directivefix
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:allow nondet — fixture: same-line suppression
+}
+
+func suppressedLineAbove() time.Time {
+	//lint:allow nondet — fixture: directive on the line above
+	return time.Now()
+}
+
+func wrongRuleName() time.Time {
+	return time.Now() //lint:allow maprange — names a different rule, so nondet still fires
+}
+
+func unknownRuleName() time.Time {
+	return time.Now() //lint:allow nosuchrule — unknown rule never suppresses
+}
+
+func missingReason() time.Time {
+	return time.Now() //lint:allow nondet
+}
+
+func directiveOnUnrelatedLine() time.Time {
+	//lint:allow nondet — fixture: two lines above the call, so it does not attach
+
+	return time.Now()
+}

@@ -1,0 +1,35 @@
+// Fixture for the nondet rule: ambient time, environment, and global
+// math/rand reads inside a simulation package.
+package nondetfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func bad() (time.Time, time.Duration, string, int) {
+	now := time.Now()
+	d := time.Since(now)
+	home := os.Getenv("HOME")
+	n := rand.Intn(10)
+	return now, d, home, n
+}
+
+func badLookup() (time.Duration, bool) {
+	_, ok := os.LookupEnv("SEED")
+	return time.Until(time.Time{}), ok
+}
+
+func allowedWithDirective() time.Time {
+	return time.Now() //lint:allow nondet — fixture: documented wall-clock use
+}
+
+func okConstructorsAreSeededrandsBusiness() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(3) // method on a local *rand.Rand, not the global source
+}
+
+func okSimulatedTime(clock time.Time) time.Time {
+	return clock.Add(500 * time.Millisecond)
+}

@@ -1,0 +1,10 @@
+// Ordering fixture: findings spread over two files of one package.
+package orderingp1
+
+import "time"
+
+func firstFile() (time.Time, time.Time) {
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}

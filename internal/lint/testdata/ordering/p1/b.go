@@ -1,0 +1,7 @@
+package orderingp1
+
+import "os"
+
+func secondFile() string {
+	return os.Getenv("PATH")
+}

@@ -1,0 +1,15 @@
+// Ordering fixture: a second package whose findings must interleave
+// after p1's in file order.
+package orderingp2
+
+import (
+	"sort"
+	"time"
+)
+
+type row struct{ n int }
+
+func thirdFile(rs []row) time.Duration {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].n < rs[j].n })
+	return time.Since(time.Time{})
+}

@@ -1,0 +1,22 @@
+// Fixture for the seededrand rule: RNG construction outside
+// internal/simrand's forkable stream tree.
+package seededfix
+
+import "math/rand"
+
+func bad() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+func badSourceAlone() rand.Source {
+	return rand.NewSource(7)
+}
+
+func allowedWithDirective() rand.Source {
+	return rand.NewSource(7) //lint:allow seededrand — fixture: documented raw source
+}
+
+func okGlobalDrawIsNondetsBusiness() int {
+	return rand.Intn(3)
+}

@@ -1,0 +1,36 @@
+// Fixture for the sortstable rule: unstable sorts of record slices
+// versus stable sorts and scalar sorts.
+package sortstablefix
+
+import "sort"
+
+type rec struct {
+	Key  string
+	Rank int
+}
+
+func bad(rs []rec) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Rank < rs[j].Rank })
+}
+
+func badPointers(rs []*rec) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Rank < rs[j].Rank })
+}
+
+func okStable(rs []rec) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Rank < rs[j].Rank })
+}
+
+func okTotalOrderWithDirective(rs []rec) {
+	//lint:allow sortstable — fixture: (Rank, Key) is already a total order
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Rank != rs[j].Rank {
+			return rs[i].Rank < rs[j].Rank
+		}
+		return rs[i].Key < rs[j].Key
+	})
+}
+
+func okScalars(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,53 @@
+// Fixture for the uncheckederr rule: dropped errors from write-path
+// calls versus checked, explicitly discarded, and infallible receivers.
+package uncheckedfix
+
+import (
+	"bufio"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func bad(f *os.File, bw *bufio.Writer) {
+	bw.Flush()
+	f.Close()
+	bw.WriteString("tail")
+}
+
+func badDeferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("payload")
+	return err
+}
+
+func badWriteFile(path string) {
+	os.WriteFile(path, []byte("x"), 0o644)
+}
+
+func okChecked(bw *bufio.Writer) error {
+	if _, err := bw.WriteString("head"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func okExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+func okAllowedWithDirective(f *os.File) {
+	f.Close() //lint:allow uncheckederr — fixture: read-only handle
+}
+
+func okInfallibleReceivers() uint64 {
+	var b strings.Builder
+	b.WriteString("never fails")
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	return h.Sum64()
+}

@@ -206,7 +206,7 @@ func Merge(in Input) (*dataset.DB, Report, error) {
 
 	// Deterministic processing order: files sorted by name.
 	files := append([]xcal.File(nil), in.Files...)
-	sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+	sort.SliceStable(files, func(i, j int) bool { return files[i].Name < files[j].Name })
 
 	nextID := 1
 	for _, f := range files {
