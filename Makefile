@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench lint lint-fixtures ci
+.PHONY: build test race vet bench lint lint-fixtures smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,10 @@ lint:
 lint-fixtures:
 	$(GO) test ./internal/lint/...
 
-ci: vet build lint race
+# smoke runs a short instrumented campaign end to end through the real
+# CLI: dataset + CSV export + run manifest (manifest.json is the CI
+# artifact). Fails on any CLI regression the unit tests sit below.
+smoke:
+	$(GO) run ./cmd/drivetest -seed 1 -limit-km 50 -metrics manifest.json -out smoke-dataset.json
+
+ci: vet build lint race smoke

@@ -24,11 +24,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"github.com/nuwins/cellwheels/internal/core"
 	"github.com/nuwins/cellwheels/internal/dataset"
 	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/obs"
 	"github.com/nuwins/cellwheels/internal/radio"
 	"github.com/nuwins/cellwheels/internal/stats"
 	"github.com/nuwins/cellwheels/internal/unit"
@@ -62,6 +64,24 @@ type Config struct {
 	// Workers caps how many operator lanes are simulated concurrently;
 	// 0 means GOMAXPROCS. Any value produces byte-identical output.
 	Workers int
+	// Obs, when non-nil, receives metrics, phase timings, and progress
+	// from the run (see internal/obs). It is a write-only side channel:
+	// enabling it never changes the dataset — the simulation is
+	// byte-identical with Obs set or nil (pinned by a regression test).
+	Obs *obs.Recorder
+}
+
+// fingerprint hashes the deterministic inputs of the config — everything
+// except the observability side channel — for the run manifest.
+func (c Config) fingerprint() string {
+	c.Obs = nil
+	return obs.Fingerprint(c)
+}
+
+// stamp records the config facts the manifest reports.
+func (c Config) stamp() {
+	c.Obs.SetLabel("seed", strconv.FormatInt(c.Seed, 10))
+	c.Obs.SetLabel("config_sha256", c.fingerprint())
 }
 
 func (c Config) internal() core.Config {
@@ -73,6 +93,7 @@ func (c Config) internal() core.Config {
 		DisableEdge:   c.DisableEdge,
 		DisablePolicy: c.DisablePolicy,
 		Workers:       c.Workers,
+		Obs:           c.Obs,
 	}
 	if c.LimitKm > 0 {
 		cfg.Limit = unit.Meters(c.LimitKm) * unit.Kilometer
@@ -92,16 +113,18 @@ type Study struct {
 	db       *dataset.DB
 	route    *geo.Route
 	campaign *core.Campaign
+	obs      *obs.Recorder
 }
 
 // Run executes a campaign and consolidates its logs.
 func Run(cfg Config) (*Study, error) {
+	cfg.stamp()
 	c := core.NewCampaign(cfg.internal())
 	db, err := c.RunAndMerge()
 	if err != nil {
 		return nil, fmt.Errorf("cellwheels: %w", err)
 	}
-	return &Study{db: db, route: c.Route(), campaign: c}, nil
+	return &Study{db: db, route: c.Route(), campaign: c, obs: cfg.Obs}, nil
 }
 
 // RunArchivingRaw executes a campaign like Run, additionally writing
@@ -113,13 +136,16 @@ func RunArchivingRaw(cfg Config, dir string) (*Study, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cellwheels: %w", err)
 	}
+	cfg.stamp()
 	c := core.NewCampaign(cfg.internal())
 	raw := c.Run()
+	stopArchive := cfg.Obs.StartPhase("archive")
 	for _, f := range raw.Files {
 		if err := writeDRMFile(filepath.Join(dir, f.Name), f); err != nil {
 			return nil, fmt.Errorf("cellwheels: %w", err)
 		}
 	}
+	stopArchive()
 	db, rep, err := c.Merge(raw)
 	if err != nil {
 		return nil, fmt.Errorf("cellwheels: %w", err)
@@ -127,7 +153,7 @@ func RunArchivingRaw(cfg Config, dir string) (*Study, error) {
 	if len(rep.UnmatchedFiles) > 0 {
 		return nil, fmt.Errorf("cellwheels: %d unmatched files after sync", len(rep.UnmatchedFiles))
 	}
-	return &Study{db: db, route: c.Route(), campaign: c}, nil
+	return &Study{db: db, route: c.Route(), campaign: c, obs: cfg.Obs}, nil
 }
 
 // writeDRMFile archives one capture atomically: the container is staged
@@ -251,6 +277,7 @@ func (s *Study) MeasuredOokla(samples int) string {
 
 // Report renders every table and figure of the paper, in paper order.
 func (s *Study) Report() string {
+	defer s.obs.StartPhase("report")()
 	maps := core.FigureCoverageMaps(s.db, s.route, 100)
 	return core.Report(s.db, maps)
 }

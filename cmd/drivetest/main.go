@@ -6,18 +6,25 @@
 //	drivetest -seed 42 -out dataset.json [-limit-km 500] [-csv dir]
 //	          [-skip-apps] [-skip-static] [-skip-passive]
 //	          [-disable-edge] [-disable-policy] [-workers N]
+//	          [-progress] [-metrics manifest.json] [-pprof cpu.out]
 //
 // The full 5,711 km campaign takes on the order of a minute; use
-// -limit-km for quick runs.
+// -limit-km for quick runs. -progress prints a periodic status line to
+// stderr, -metrics writes a machine-readable run manifest, and -pprof
+// captures a CPU profile of the whole run. All three are side channels:
+// the dataset is byte-identical with or without them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime/pprof"
 	"time"
 
 	"github.com/nuwins/cellwheels"
+	"github.com/nuwins/cellwheels/internal/obs"
 )
 
 func main() {
@@ -34,8 +41,35 @@ func main() {
 		disableEdge   = flag.Bool("disable-edge", false, "remove Wavelength edge servers (ablation)")
 		disablePolicy = flag.Bool("disable-policy", false, "always serve the best technology (ablation)")
 		workers       = flag.Int("workers", 0, "concurrent operator lanes (0 = GOMAXPROCS); output is identical for any value")
+		progress      = flag.Bool("progress", false, "print a periodic progress line (odometer, tick rate, ETA) to stderr")
+		metricsPath   = flag.String("metrics", "", "write a machine-readable run manifest (JSON) to this path")
+		pprofPath     = flag.String("pprof", "", "write a CPU profile of the run to this path")
 	)
 	flag.Parse()
+
+	// The recorder is the only wall clock this command touches: run
+	// timing, progress reporting, and the manifest all read it, and none
+	// of it feeds the simulation.
+	rec := obs.New()
+	if *progress {
+		rec.EnableProgress(os.Stderr, time.Second)
+	}
+
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "drivetest: pprof:", err)
+			}
+		}()
+	}
 
 	cfg := cellwheels.Config{
 		Seed:          *seed,
@@ -46,8 +80,8 @@ func main() {
 		DisableEdge:   *disableEdge,
 		DisablePolicy: *disablePolicy,
 		Workers:       *workers,
+		Obs:           rec,
 	}
-	start := time.Now() //lint:allow nondet — times the run itself for the stderr banner; never feeds the simulation
 	var study *cellwheels.Study
 	var err error
 	if *rawDir != "" {
@@ -56,48 +90,86 @@ func main() {
 		study, err = cellwheels.Run(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "drivetest:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *rawDir != "" {
 		fmt.Fprintf(os.Stderr, "raw captures archived to %s/\n", *rawDir)
 	}
-	//lint:allow nondet — times the run itself for the stderr banner; never feeds the simulation
-	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", rec.Elapsed().Round(time.Millisecond))
 	fmt.Fprint(os.Stderr, study.Summary())
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "drivetest:", err)
-		os.Exit(1)
-	}
-	err = study.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "drivetest:", err)
-		os.Exit(1)
+	if err := writeDataset(*out, study); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "dataset written to %s\n", *out)
 
 	if *geoDir != "" {
+		if err := os.MkdirAll(*geoDir, 0o755); err != nil {
+			fatal(err)
+		}
 		if err := study.WriteCoverageGeoJSON(*geoDir); err != nil {
-			fmt.Fprintln(os.Stderr, "drivetest:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "GeoJSON written to %s/\n", *geoDir)
 	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "drivetest:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := study.WriteCSV(*csvDir); err != nil {
-			fmt.Fprintln(os.Stderr, "drivetest:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "CSV tables written to %s/\n", *csvDir)
 	}
+
+	if *metricsPath != "" {
+		rec.SetLabel("dataset", *out)
+		if err := writeManifest(*metricsPath, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "run manifest written to %s\n", *metricsPath)
+	}
+}
+
+// writeDataset serializes the dataset atomically: staged in a temp file
+// next to the target and renamed into place only after a complete write,
+// matching RunArchivingRaw's .drm pattern — a failed write never leaves a
+// truncated dataset behind.
+func writeDataset(path string, study *cellwheels.Study) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".dataset-tmp-*")
+	if err != nil {
+		return err
+	}
+	werr := study.WriteJSON(tmp)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeManifest writes the run manifest with the same atomic staging.
+func writeManifest(path string, rec *obs.Recorder) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-tmp-*")
+	if err != nil {
+		return err
+	}
+	werr := rec.WriteManifest(tmp)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drivetest:", err)
+	os.Exit(1)
 }

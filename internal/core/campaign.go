@@ -27,6 +27,7 @@ import (
 	"github.com/nuwins/cellwheels/internal/deploy"
 	"github.com/nuwins/cellwheels/internal/geo"
 	"github.com/nuwins/cellwheels/internal/logsync"
+	"github.com/nuwins/cellwheels/internal/obs"
 	"github.com/nuwins/cellwheels/internal/radio"
 	"github.com/nuwins/cellwheels/internal/ran"
 	"github.com/nuwins/cellwheels/internal/simrand"
@@ -89,6 +90,13 @@ type Config struct {
 
 	// Operators to measure; nil means all three.
 	Operators []radio.Operator
+
+	// Obs is the observability side channel: lanes count ticks into it,
+	// phases time themselves against it, and logsync records merge stats.
+	// It is strictly write-only from the engine's point of view — nothing
+	// read from it ever feeds a simulation decision — so a nil value (the
+	// default) and any non-nil value produce byte-identical datasets.
+	Obs *obs.Recorder
 }
 
 func (c *Config) applyDefaults() {
@@ -248,6 +256,10 @@ func NewCampaign(cfg Config) *Campaign {
 			phone:  p,
 			logger: logger,
 			m:      m,
+			// Nil-safe when observability is off: a nil Recorder hands out
+			// nil counters/gauges whose methods are no-ops.
+			obsTicks: cfg.Obs.Counter("lane/" + op.Short() + "/ticks"),
+			obsOdoKm: cfg.Obs.Gauge("lane/" + op.Short() + "/odometer_km"),
 		})
 	}
 	return c
@@ -269,6 +281,21 @@ func (c *Campaign) Run() Raw {
 		workers = 1
 	}
 
+	rec := c.cfg.Obs
+	defer rec.StartPhase("run")()
+	rec.Gauge("route/total_km").Set(c.timeline.Final().Odometer.Km())
+	rec.Counter("ticks/per_lane").Add(int64(c.timeline.Ticks()))
+	lanes := make([]string, len(c.lanes))
+	for i, l := range c.lanes {
+		lanes[i] = l.op.Short()
+	}
+	stopProgress := rec.StartProgress(obs.ProgressInfo{
+		TotalTicks: int64(c.timeline.Ticks()),
+		TotalKm:    c.timeline.Final().Odometer.Km(),
+		Lanes:      lanes,
+	})
+	defer stopProgress()
+
 	jobs := make(chan *lane)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -276,7 +303,9 @@ func (c *Campaign) Run() Raw {
 		go func() {
 			defer wg.Done()
 			for l := range jobs {
+				stopLane := rec.StartPhase("lane/" + l.op.Short())
 				l.run(c.timeline.Cursor())
+				stopLane()
 			}
 		}()
 	}
@@ -306,6 +335,7 @@ func (c *Campaign) collect() Raw {
 			HandoverTotal: map[string]int{},
 		},
 	}
+	rec := c.cfg.Obs
 	for _, l := range c.lanes {
 		p := l.phone
 		raw.Files = append(raw.Files, p.files...)
@@ -314,6 +344,10 @@ func (c *Campaign) collect() Raw {
 		raw.Meta.BytesTx += p.bytesTx
 		raw.Meta.RuntimeByOp[p.op.String()] = p.testTime
 		raw.Meta.UniqueCells[p.op.String()] = p.ue.UniqueCells()
+		rec.Counter("lane/" + l.op.Short() + "/files").Add(int64(len(p.files)))
+		rec.Counter("lane/" + l.op.Short() + "/handovers").Add(int64(p.ue.HandoverCount()))
+		rec.Counter("bytes/rx").Add(int64(p.bytesRx))
+		rec.Counter("bytes/tx").Add(int64(p.bytesTx))
 	}
 	for _, l := range c.lanes {
 		if l.logger == nil {
@@ -322,6 +356,7 @@ func (c *Campaign) collect() Raw {
 		raw.Logger[l.op.Short()] = l.logger.Rows()
 		raw.PassiveHandovers[l.op.String()] = len(l.logger.UE.Handovers())
 		raw.Meta.HandoverTotal[l.op.String()] = len(l.logger.UE.Handovers())
+		rec.Counter("lane/" + l.op.Short() + "/passive_handovers").Add(int64(len(l.logger.UE.Handovers())))
 	}
 	return raw
 }
@@ -334,6 +369,7 @@ func (c *Campaign) Merge(raw Raw) (*dataset.DB, logsync.Report, error) {
 		Apps:   raw.Apps,
 		Logger: raw.Logger,
 		Meta:   raw.Meta,
+		Obs:    c.cfg.Obs,
 	})
 }
 

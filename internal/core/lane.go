@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/nuwins/cellwheels/internal/deploy"
 	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/obs"
 	"github.com/nuwins/cellwheels/internal/radio"
 	"github.com/nuwins/cellwheels/internal/xcal"
 )
@@ -19,6 +20,10 @@ type lane struct {
 	phone  *phone
 	logger *xcal.HandoverLogger
 	m      *deploy.Map
+
+	// Observability side channel (write-only; nil-safe when obs is off).
+	obsTicks *obs.Counter
+	obsOdoKm *obs.Gauge
 }
 
 // run replays the timeline through this lane's instruments.
@@ -62,6 +67,8 @@ func (l *lane) run(cur *geo.Cursor) {
 			inStatic = false
 		}
 		last = ts.DriveState
+		l.obsTicks.Add(1)
+		l.obsOdoKm.Set(ts.Odometer.Km())
 	}
 	// Close any file still open at trip end.
 	if p.rec.Recording() {

@@ -8,15 +8,35 @@ import (
 	"time"
 )
 
-// WriteThroughputCSV writes the throughput table.
-func (db *DB) WriteThroughputCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	header := []string{
+// Canonical per-table headers, shared by the writers below and the
+// readers in csv_read.go: the reader rejects any file whose header row
+// does not match its writer's column for column, so a column-reordered or
+// wrong-table CSV fails loudly instead of parsing into garbage.
+var (
+	throughputHeader = []string{
 		"test_id", "time_utc", "operator", "direction", "mbps", "tech",
 		"rsrp_dbm", "sinr_db", "mcs", "cc", "bler", "load", "speed_mph",
 		"odometer_km", "timezone", "region", "handovers", "cell_id", "edge", "static",
 	}
-	if err := cw.Write(header); err != nil {
+	rttHeader = []string{
+		"test_id", "time_utc", "operator", "rtt_ms", "lost", "tech",
+		"speed_mph", "odometer_km", "timezone", "edge", "static",
+	}
+	handoverHeader = []string{
+		"test_id", "time_utc", "operator", "duration_ms", "from_tech", "to_tech", "odometer_km",
+	}
+	appRunHeader = []string{
+		"test_id", "kind", "operator", "start_utc", "compressed",
+		"e2e_ms", "offload_fps", "map", "qoe", "avg_bitrate_mbps", "rebuffer_frac",
+		"send_bitrate_mbps", "net_latency_ms", "frame_drop_frac",
+		"highspeed_frac", "edge", "handovers", "static",
+	}
+)
+
+// WriteThroughputCSV writes the throughput table.
+func (db *DB) WriteThroughputCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(throughputHeader); err != nil {
 		return err
 	}
 	for _, s := range db.Throughput {
@@ -53,10 +73,7 @@ func (db *DB) WriteThroughputCSV(w io.Writer) error {
 // WriteRTTCSV writes the RTT table.
 func (db *DB) WriteRTTCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
-		"test_id", "time_utc", "operator", "rtt_ms", "lost", "tech",
-		"speed_mph", "odometer_km", "timezone", "edge", "static",
-	}); err != nil {
+	if err := cw.Write(rttHeader); err != nil {
 		return err
 	}
 	for _, s := range db.RTT {
@@ -83,9 +100,7 @@ func (db *DB) WriteRTTCSV(w io.Writer) error {
 // WriteHandoverCSV writes the handover table.
 func (db *DB) WriteHandoverCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
-		"test_id", "time_utc", "operator", "duration_ms", "from_tech", "to_tech", "odometer_km",
-	}); err != nil {
+	if err := cw.Write(handoverHeader); err != nil {
 		return err
 	}
 	for _, h := range db.Handovers {
@@ -108,12 +123,7 @@ func (db *DB) WriteHandoverCSV(w io.Writer) error {
 // WriteAppRunCSV writes the application-run table.
 func (db *DB) WriteAppRunCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
-		"test_id", "kind", "operator", "start_utc", "compressed",
-		"e2e_ms", "offload_fps", "map", "qoe", "avg_bitrate_mbps", "rebuffer_frac",
-		"send_bitrate_mbps", "net_latency_ms", "frame_drop_frac",
-		"highspeed_frac", "edge", "handovers", "static",
-	}); err != nil {
+	if err := cw.Write(appRunHeader); err != nil {
 		return err
 	}
 	for _, r := range db.AppRuns {

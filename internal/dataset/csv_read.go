@@ -18,7 +18,7 @@ import (
 
 // ReadThroughputCSV parses a table written by WriteThroughputCSV.
 func ReadThroughputCSV(r io.Reader) ([]ThroughputSample, error) {
-	rows, err := readTable(r, 20, "throughput")
+	rows, err := readTable(r, throughputHeader, "throughput")
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +57,7 @@ func ReadThroughputCSV(r io.Reader) ([]ThroughputSample, error) {
 
 // ReadRTTCSV parses a table written by WriteRTTCSV.
 func ReadRTTCSV(r io.Reader) ([]RTTSample, error) {
-	rows, err := readTable(r, 11, "rtt")
+	rows, err := readTable(r, rttHeader, "rtt")
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +87,7 @@ func ReadRTTCSV(r io.Reader) ([]RTTSample, error) {
 
 // ReadHandoverCSV parses a table written by WriteHandoverCSV.
 func ReadHandoverCSV(r io.Reader) ([]Handover, error) {
-	rows, err := readTable(r, 7, "handover")
+	rows, err := readTable(r, handoverHeader, "handover")
 	if err != nil {
 		return nil, err
 	}
@@ -111,17 +111,25 @@ func ReadHandoverCSV(r io.Reader) ([]Handover, error) {
 	return out, nil
 }
 
-// readTable reads all rows, validates the column count, and strips the
-// header.
-func readTable(r io.Reader, cols int, table string) ([][]string, error) {
+// readTable reads all rows, validates the column count, checks the header
+// row against the table's canonical header, and strips it. Header
+// validation is what catches a column-reordered or wrong-table CSV whose
+// column count happens to match — without it such a file parses silently
+// into garbage (or, worse, into plausible-looking wrong data).
+func readTable(r io.Reader, header []string, table string) ([][]string, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = cols
+	cr.FieldsPerRecord = len(header)
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %s csv: %w", table, err)
 	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("dataset: %s csv: empty", table)
+	}
+	for i, want := range header {
+		if got := rows[0][i]; got != want {
+			return nil, fmt.Errorf("dataset: %s csv: header column %d is %q, want %q (wrong or reordered table?)", table, i+1, got, want)
+		}
 	}
 	return rows[1:], nil
 }

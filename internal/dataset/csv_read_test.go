@@ -80,6 +80,10 @@ func TestHandoverCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// hdr renders a table's canonical header as a CSV line, so the garbage
+// tests below get past header validation and exercise field parsing.
+func hdr(header []string) string { return strings.Join(header, ",") + "\n" }
+
 func TestReadCSVRejectsGarbage(t *testing.T) {
 	cases := []struct {
 		name string
@@ -90,20 +94,28 @@ func TestReadCSVRejectsGarbage(t *testing.T) {
 			_, err := ReadThroughputCSV(strings.NewReader(in))
 			return err
 		}},
-		{"bad float", "h" + strings.Repeat(",h", 19) + "\n1,2022-08-08T16:00:00Z,Verizon,DL,notafloat,LTE,0,0,0,1,0,0,0,0,Pacific,urban,0,c,0,0\n", func(in string) error {
+		{"bad float", hdr(throughputHeader) + "1,2022-08-08T16:00:00Z,Verizon,DL,notafloat,LTE,0,0,0,1,0,0,0,0,Pacific,urban,0,c,0,0\n", func(in string) error {
 			_, err := ReadThroughputCSV(strings.NewReader(in))
 			return err
 		}},
-		{"bad op", "h" + strings.Repeat(",h", 10) + "\n1,2022-08-08T16:00:00Z,Sprint,1,0,LTE,0,0,Pacific,0,0\n", func(in string) error {
+		{"bad op", hdr(rttHeader) + "1,2022-08-08T16:00:00Z,Sprint,1,0,LTE,0,0,Pacific,0,0\n", func(in string) error {
 			_, err := ReadRTTCSV(strings.NewReader(in))
 			return err
 		}},
-		{"bad tech", "h" + strings.Repeat(",h", 6) + "\n1,2022-08-08T16:00:00Z,Verizon,53,6G,LTE,0\n", func(in string) error {
+		{"bad tech", hdr(handoverHeader) + "1,2022-08-08T16:00:00Z,Verizon,53,6G,LTE,0\n", func(in string) error {
+			_, err := ReadHandoverCSV(strings.NewReader(in))
+			return err
+		}},
+		{"bad time", hdr(handoverHeader) + "1,yesterday,Verizon,53,LTE,LTE,0\n", func(in string) error {
 			_, err := ReadHandoverCSV(strings.NewReader(in))
 			return err
 		}},
 		{"wrong cols", "a,b\n1,2\n", func(in string) error {
 			_, err := ReadThroughputCSV(strings.NewReader(in))
+			return err
+		}},
+		{"short row", hdr(rttHeader) + "1,2022-08-08T16:00:00Z,Verizon\n", func(in string) error {
+			_, err := ReadRTTCSV(strings.NewReader(in))
 			return err
 		}},
 	}
@@ -114,8 +126,66 @@ func TestReadCSVRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadCSVRejectsBadHeader pins the header validation: a file whose
+// column count matches but whose header row does not name the table's
+// canonical columns must be rejected, and the error must say which
+// column mismatched first.
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	// Swap two columns of the rtt header: same count, wrong order.
+	swapped := append([]string(nil), rttHeader...)
+	swapped[3], swapped[4] = swapped[4], swapped[3]
+	in := strings.Join(swapped, ",") + "\n1,2022-08-08T16:00:00Z,Verizon,0,0,LTE,0,0,Pacific,0,0\n"
+	_, err := ReadRTTCSV(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("accepted a column-reordered header")
+	}
+	for _, want := range []string{"header column 4", `"lost"`, `"rtt_ms"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %s", err, want)
+		}
+	}
+}
+
+// TestReadCSVRejectsWrongTable feeds one table's file to another table's
+// reader. The handover and rtt tables have different widths, so the
+// column-count check fires; the interesting case is same-width confusion,
+// which only the header check can catch — here a truncated throughput
+// header masquerading as rtt.
+func TestReadCSVRejectsWrongTable(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := db.WriteHandoverCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRTTCSV(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("rtt reader accepted a handover file")
+	}
+
+	// Same column count as rtt, different names.
+	in := strings.Join(throughputHeader[:len(rttHeader)], ",") + "\n"
+	_, err := ReadRTTCSV(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("rtt reader accepted a throughput-headed file of matching width")
+	}
+	if !strings.Contains(err.Error(), "wrong or reordered table") {
+		t.Errorf("error %q does not point at table confusion", err)
+	}
+}
+
+// TestReadCSVHeaderOnly pins that a file with a valid header and no data
+// rows parses to an empty, non-nil-error result.
+func TestReadCSVHeaderOnly(t *testing.T) {
+	rows, err := ReadRTTCSV(strings.NewReader(hdr(rttHeader)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("header-only file parsed to %d rows", len(rows))
+	}
+}
+
 func TestReadCSVErrorMentionsLocation(t *testing.T) {
-	in := "h" + strings.Repeat(",h", 10) + "\n1,2022-08-08T16:00:00Z,Verizon,xx,0,LTE,0,0,Pacific,0,0\n"
+	in := hdr(rttHeader) + "1,2022-08-08T16:00:00Z,Verizon,xx,0,LTE,0,0,Pacific,0,0\n"
 	_, err := ReadRTTCSV(strings.NewReader(in))
 	if err == nil {
 		t.Fatal("accepted")
@@ -123,4 +193,67 @@ func TestReadCSVErrorMentionsLocation(t *testing.T) {
 	if !strings.Contains(err.Error(), "line 2") {
 		t.Errorf("error %q lacks line number", err)
 	}
+}
+
+// TestCSVWriteReadWriteByteEqual pins the strongest round-trip property:
+// writing a table, reading it back, and writing the parsed rows again
+// must reproduce the first file byte for byte, for all three readable
+// tables. This is what lets real drive-test data massaged into the
+// canonical columns survive repeated load/export cycles unchanged.
+func TestCSVWriteReadWriteByteEqual(t *testing.T) {
+	db := sampleDB()
+
+	t.Run("throughput", func(t *testing.T) {
+		var first bytes.Buffer
+		if err := db.WriteThroughputCSV(&first); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := ReadThroughputCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := (&DB{Throughput: rows}).WriteThroughputCSV(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("write-read-write differs:\n--- first ---\n%s--- second ---\n%s", first.String(), second.String())
+		}
+	})
+
+	t.Run("rtt", func(t *testing.T) {
+		var first bytes.Buffer
+		if err := db.WriteRTTCSV(&first); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := ReadRTTCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := (&DB{RTT: rows}).WriteRTTCSV(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("write-read-write differs:\n--- first ---\n%s--- second ---\n%s", first.String(), second.String())
+		}
+	})
+
+	t.Run("handover", func(t *testing.T) {
+		var first bytes.Buffer
+		if err := db.WriteHandoverCSV(&first); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := ReadHandoverCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := (&DB{Handovers: rows}).WriteHandoverCSV(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("write-read-write differs:\n--- first ---\n%s--- second ---\n%s", first.String(), second.String())
+		}
+	})
 }

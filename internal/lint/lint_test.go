@@ -92,6 +92,37 @@ func TestFixturesExerciseEveryRule(t *testing.T) {
 	}
 }
 
+// TestNondetObsExemption pins the nondet rule's package-level exemption:
+// wall-clock reads are findings everywhere in the simulation tree except
+// internal/obs, the designated observability side channel. The same
+// fixture source is loaded at both rel paths so the only variable is the
+// exemption.
+func TestNondetObsExemption(t *testing.T) {
+	dir := filepath.Join("testdata", "nondetobs")
+
+	asObs, err := LoadFixture(dir, "internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{asObs}, []Rule{NondetRule{}}); len(diags) != 0 {
+		t.Errorf("internal/obs not exempt from nondet: %v", diags)
+	}
+
+	asOther, err := LoadFixture(dir, "internal/notobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{asOther}, []Rule{NondetRule{}})
+	if len(diags) != 2 {
+		t.Fatalf("control package produced %d nondet findings, want 2 (time.Now, time.Since): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "nondet" {
+			t.Errorf("unexpected rule %q", d.Rule)
+		}
+	}
+}
+
 // TestDiagnosticOrdering feeds two multi-file packages to Run in reversed
 // order and requires the output sorted by file, then position — the
 // property that makes the linter's own output deterministic.

@@ -1,0 +1,13 @@
+// Fixture for the nondet rule's internal/obs exemption: the same
+// wall-clock reads that fire in any other simulation package must be
+// silent when the package is presented at the internal/obs path, and must
+// still fire when presented anywhere else. The test loads this directory
+// twice — once per rel path — so the exemption itself is pinned.
+package nondetobsfix
+
+import "time"
+
+func wallClock() (time.Time, time.Duration) {
+	now := time.Now()
+	return now, time.Since(now)
+}

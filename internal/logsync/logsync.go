@@ -22,6 +22,7 @@ import (
 
 	"github.com/nuwins/cellwheels/internal/dataset"
 	"github.com/nuwins/cellwheels/internal/geo"
+	"github.com/nuwins/cellwheels/internal/obs"
 	"github.com/nuwins/cellwheels/internal/radio"
 	"github.com/nuwins/cellwheels/internal/unit"
 	"github.com/nuwins/cellwheels/internal/xcal"
@@ -177,6 +178,10 @@ type Input struct {
 	Apps   []AppLog
 	Logger map[string][]xcal.LoggerRow // passive rows keyed by operator short code
 	Meta   dataset.Meta
+	// Obs receives merge statistics (match counts, name-stamp skew, final
+	// per-table row counts). Write-only and nil-safe: the merge's output
+	// is byte-identical with or without it.
+	Obs *obs.Recorder
 }
 
 // Report describes merge quality for diagnostics and tests.
@@ -191,6 +196,10 @@ func Merge(in Input) (*dataset.DB, Report, error) {
 	if in.Route == nil {
 		return nil, Report{}, fmt.Errorf("logsync: nil route")
 	}
+	defer in.Obs.StartPhase("merge")()
+	// Skew between a file-name stamp (best zone interpretation) and the
+	// matched app log, in ms — the quantity matchTolerance bounds.
+	skew := in.Obs.Histogram("logsync/skew_ms", []float64{1, 10, 100, 1000, 3000})
 	db := &dataset.DB{Meta: in.Meta}
 	rep := Report{}
 
@@ -237,6 +246,7 @@ func Merge(in Input) (*dataset.DB, Report, error) {
 		}
 		usedApps[bestApp] = true
 		rep.Matched++
+		skew.Observe(float64(bestSkew) / float64(time.Millisecond))
 		app := in.Apps[bestApp]
 
 		id := nextID
@@ -345,7 +355,23 @@ func Merge(in Input) (*dataset.DB, Report, error) {
 	}
 
 	sortDB(db)
+	recordMergeStats(in.Obs, db, rep)
 	return db, rep, nil
+}
+
+// recordMergeStats publishes the merge outcome: how the matcher fared and
+// how many rows each table ended up with. The table counters are the
+// numbers the -metrics manifest must agree with the written dataset on.
+func recordMergeStats(rec *obs.Recorder, db *dataset.DB, rep Report) {
+	rec.Counter("logsync/matched").Add(int64(rep.Matched))
+	rec.Counter("logsync/unmatched_files").Add(int64(len(rep.UnmatchedFiles)))
+	rec.Counter("logsync/unmatched_apps").Add(int64(rep.UnmatchedApps))
+	rec.Counter("table/tests").Add(int64(len(db.Tests)))
+	rec.Counter("table/throughput").Add(int64(len(db.Throughput)))
+	rec.Counter("table/rtt").Add(int64(len(db.RTT)))
+	rec.Counter("table/handovers").Add(int64(len(db.Handovers)))
+	rec.Counter("table/appruns").Add(int64(len(db.AppRuns)))
+	rec.Counter("table/passive").Add(int64(len(db.Passive)))
 }
 
 // normRow is a parsed XCAL row with UTC time.

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsNoOp pins the wiring contract: instrumented code holds
+// a possibly-nil *Recorder permanently, so every method must be callable
+// through nil without panicking or doing work.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Counter("x").Add(3)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	r.Gauge("g").Set(1.5)
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("nil gauge value = %v", got)
+	}
+	r.Histogram("h", []float64{1, 2}).Observe(1)
+	r.SetLabel("k", "v")
+	r.StartPhase("p")()
+	r.EnableProgress(&bytes.Buffer{}, time.Millisecond)
+	r.StartProgress(ProgressInfo{})()
+	if r.Elapsed() != 0 {
+		t.Error("nil Elapsed != 0")
+	}
+	m := r.Manifest()
+	if m.Schema != ManifestSchema || len(m.Counters) != 0 {
+		t.Errorf("nil manifest = %+v", m)
+	}
+}
+
+func TestCountersAndGaugesConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("ticks")
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+				r.Gauge("odo").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ticks").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("skew_ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.9, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []int64{2, 1, 1, 2} // <=1, <=10, <=100, overflow
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Count != 6 || s.Min != 0.5 || s.Max != 5000 {
+		t.Errorf("count/min/max = %d/%v/%v", s.Count, s.Min, s.Max)
+	}
+}
+
+func TestPhasesAccumulate(t *testing.T) {
+	r := New()
+	stop := r.StartPhase("work")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	r.StartPhase("work")() // immediate re-entry adds ~0
+	m := r.Manifest()
+	if m.PhaseMS["work"] <= 0 {
+		t.Errorf("phase wall = %v", m.PhaseMS["work"])
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	r := New()
+	r.SetLabel("seed", "42")
+	r.Counter("table/rtt").Add(7)
+	r.Gauge("route/total_km").Set(150)
+	r.Histogram("skew", []float64{10}).Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteManifest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != ManifestSchema || m.Labels["seed"] != "42" ||
+		m.Counters["table/rtt"] != 7 || m.Gauges["route/total_km"] != 150 ||
+		m.Histograms["skew"].Count != 1 {
+		t.Errorf("round trip mangled manifest: %+v", m)
+	}
+	if m.GoVersion == "" || m.GOMAXPROCS < 1 {
+		t.Errorf("missing runtime facts: %+v", m)
+	}
+	if _, err := ReadManifest(strings.NewReader("{")); err == nil {
+		t.Error("bad manifest accepted")
+	}
+}
+
+// TestProgressReports drives the reporter against synthetic lane metrics
+// and checks the line shape.
+func TestProgressReports(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.EnableProgress(&buf, time.Millisecond)
+	r.Counter("lane/V/ticks").Add(50)
+	r.Gauge("lane/V/odometer_km").Set(12.5)
+	stop := r.StartProgress(ProgressInfo{TotalTicks: 100, TotalKm: 25, Lanes: []string{"V"}})
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	out := buf.String()
+	if !strings.Contains(out, "obs: 12.5/25.0 km 50.0%") {
+		t.Errorf("progress output %q lacks expected line", out)
+	}
+	if !strings.Contains(out, "ticks 50/100") {
+		t.Errorf("progress output %q lacks tick fraction", out)
+	}
+}
+
+// TestProgressDisabledWithoutEnable pins that StartProgress without
+// EnableProgress (the -metrics-only path) spawns nothing.
+func TestProgressDisabledWithoutEnable(t *testing.T) {
+	r := New()
+	stop := r.StartProgress(ProgressInfo{TotalTicks: 1, Lanes: []string{"V"}})
+	stop() // must not hang or panic
+}
+
+func TestFingerprintStable(t *testing.T) {
+	type cfg struct{ Seed int64 }
+	a, b := Fingerprint(cfg{7}), Fingerprint(cfg{7})
+	if a != b {
+		t.Errorf("same value hashed differently: %s vs %s", a, b)
+	}
+	if a == Fingerprint(cfg{8}) {
+		t.Error("different values share a fingerprint")
+	}
+	if len(a) != 64 {
+		t.Errorf("fingerprint length %d", len(a))
+	}
+}

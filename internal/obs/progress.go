@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProgressInfo tells the reporter what "done" looks like and which lanes
+// to watch. Lanes are the operator short codes; each lane is expected to
+// maintain the counter "lane/<code>/ticks" and the gauge
+// "lane/<code>/odometer_km".
+type ProgressInfo struct {
+	// TotalTicks is the tick count each lane will replay.
+	TotalTicks int64
+	// TotalKm is the planned driven distance.
+	TotalKm float64
+	// Lanes are the operator short codes being simulated.
+	Lanes []string
+}
+
+// EnableProgress arms the periodic reporter: once armed, StartProgress
+// spawns a goroutine printing one status line to w every interval. An
+// interval <= 0 defaults to one second. Without this call StartProgress
+// is a no-op, so metrics collection and progress printing are
+// independently switchable.
+func (r *Recorder) EnableProgress(w io.Writer, interval time.Duration) {
+	if r == nil || w == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	r.mu.Lock()
+	r.progress = &progressLoop{w: w, interval: interval}
+	r.mu.Unlock()
+}
+
+// StartProgress begins periodic reporting (if armed via EnableProgress)
+// and returns the function that stops it. The loop only reads the
+// registry and writes to the configured writer — it can never feed state
+// back into the simulation.
+func (r *Recorder) StartProgress(info ProgressInfo) func() {
+	if r == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	p := r.progress
+	r.mu.Unlock()
+	if p == nil || p.running {
+		return func() {}
+	}
+	p.running = true
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.run(r, info)
+	return func() {
+		close(p.stop)
+		<-p.done
+		r.mu.Lock()
+		p.running = false
+		r.mu.Unlock()
+	}
+}
+
+// progressLoop is the reporter's goroutine state.
+type progressLoop struct {
+	w        io.Writer
+	interval time.Duration
+	running  bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func (p *progressLoop) run(r *Recorder, info ProgressInfo) {
+	defer close(p.done)
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	begin := time.Now()
+	var lastTicks int64
+	lastAt := begin
+	for {
+		select {
+		case <-p.stop:
+			// One final line so short runs still report something.
+			p.report(r, info, begin, &lastTicks, &lastAt)
+			return
+		case <-tick.C:
+			p.report(r, info, begin, &lastTicks, &lastAt)
+		}
+	}
+}
+
+// report prints one status line:
+//
+//	obs: 123.4/500.0 km 24.7% | ticks 250000/1012345 | 310k ticks/s | eta 12s
+func (p *progressLoop) report(r *Recorder, info ProgressInfo, begin time.Time, lastTicks *int64, lastAt *time.Time) {
+	now := time.Now()
+	minTicks := int64(-1)
+	minOdo := 0.0
+	var sumTicks int64
+	for i, lane := range info.Lanes {
+		t := r.Counter("lane/" + lane + "/ticks").Value()
+		odo := r.Gauge("lane/" + lane + "/odometer_km").Value()
+		sumTicks += t
+		if i == 0 || t < minTicks {
+			minTicks = t
+		}
+		if i == 0 || odo < minOdo {
+			minOdo = odo
+		}
+	}
+	if minTicks < 0 {
+		minTicks = 0
+	}
+
+	rate := 0.0
+	if dt := now.Sub(*lastAt).Seconds(); dt > 0 {
+		rate = float64(sumTicks-*lastTicks) / dt
+	}
+	*lastTicks, *lastAt = sumTicks, now
+
+	frac := 0.0
+	if info.TotalTicks > 0 {
+		frac = float64(minTicks) / float64(info.TotalTicks)
+	}
+	eta := "?"
+	if frac > 0 && frac < 1 {
+		elapsed := now.Sub(begin)
+		rem := time.Duration(float64(elapsed)/frac - float64(elapsed))
+		eta = rem.Round(time.Second).String()
+	} else if frac >= 1 {
+		eta = "0s"
+	}
+	fmt.Fprintf(p.w, "obs: %.1f/%.1f km %.1f%% | ticks %d/%d | %s ticks/s | eta %s\n",
+		minOdo, info.TotalKm, 100*frac, minTicks, info.TotalTicks, fmtRate(rate), eta)
+}
+
+// fmtRate renders a per-second rate compactly (312, 4.1k, 2.3M).
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

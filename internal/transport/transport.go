@@ -26,6 +26,11 @@ import (
 // MSS is the TCP maximum segment size in bytes.
 const MSS = 1448
 
+// MaxRTT caps every reported round-trip time, flow and pinger alike, at
+// the paper's observed 3 s driving maxima: beyond that real stacks time
+// out rather than report ever-larger RTTs.
+const MaxRTT = 3 * time.Second
+
 // CUBIC constants (RFC 8312).
 const (
 	cubicC    = 0.4 // scaling constant, MSS/s³
@@ -107,11 +112,18 @@ func (f *Flow) Step(dt time.Duration, capacity unit.BitRate, baseRTT time.Durati
 		rtt += time.Duration(f.queue / capBps * float64(time.Second))
 	} else if f.queue > 0 {
 		// Outage: the queue is stuck; report inflated RTT against the
-		// last known service rate.
+		// last known service rate. Capped: lastRTT feeds back into rtt
+		// (and rtt into lastRTT below), so without a ceiling a
+		// multi-second zero-capacity window doubles the reported RTT
+		// every tick without bound. MaxRTT matches the pinger's 3 s
+		// ceiling — the largest RTT any instrument in the testbed reports.
 		rtt += f.lastRTT
 	}
 	if rtt < time.Millisecond {
 		rtt = time.Millisecond
+	}
+	if rtt > MaxRTT {
+		rtt = MaxRTT
 	}
 	f.lastRTT = rtt
 
@@ -269,8 +281,8 @@ func (p *Pinger) sample(capacity unit.BitRate, baseRTT time.Duration, load float
 			rtt += p.rng.LogNormalMedian(40, 0.8)
 		}
 	}
-	if rtt > 3000 {
-		rtt = 3000
+	if ceil := unit.Milliseconds(MaxRTT); rtt > ceil {
+		rtt = ceil
 	}
 	return PingSample{RTT: unit.DurationFromMS(rtt)}
 }

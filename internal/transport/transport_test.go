@@ -92,6 +92,32 @@ func TestFlowRecoversAfterOutage(t *testing.T) {
 	}
 }
 
+func TestFlowOutageRTTCapped(t *testing.T) {
+	// Regression: the outage branch adds lastRTT to the reported RTT, and
+	// the report feeds back into lastRTT — so before the MaxRTT cap a
+	// multi-second zero-capacity window doubled the RTT every tick without
+	// bound (50 ms → minutes within a simulated five seconds).
+	f := NewFlow(simrand.New(8))
+	runFlow(f, 50*unit.Mbps, 40*time.Millisecond, 3*time.Second)
+	if f.Queue() == 0 {
+		t.Fatal("no queue built before the outage; the test needs one")
+	}
+	prev := time.Duration(0)
+	for i := 0; i < int(5*time.Second/tick); i++ {
+		r := f.Step(tick, 0, 40*time.Millisecond, 0)
+		if r.RTT > MaxRTT {
+			t.Fatalf("tick %d: outage RTT %v exceeds MaxRTT %v", i, r.RTT, MaxRTT)
+		}
+		if prev >= MaxRTT && r.RTT > prev {
+			t.Fatalf("tick %d: RTT still growing past the cap: %v -> %v", i, prev, r.RTT)
+		}
+		prev = r.RTT
+	}
+	if prev != MaxRTT {
+		t.Errorf("after a 5 s outage RTT = %v, want pinned at MaxRTT %v", prev, MaxRTT)
+	}
+}
+
 func TestFlowOutageDeliversNothing(t *testing.T) {
 	f := NewFlow(simrand.New(6))
 	runFlow(f, 50*unit.Mbps, 40*time.Millisecond, 2*time.Second)
