@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench lint lint-fixtures smoke ci
+.PHONY: build test race vet bench lint lint-fixtures smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,4 +36,11 @@ lint-fixtures:
 smoke:
 	$(GO) run ./cmd/drivetest -seed 1 -limit-km 50 -metrics manifest.json -out smoke-dataset.json
 
-ci: vet build lint race smoke
+# fleet-smoke runs a 3-replicate fleet through the real fleetrun binary:
+# scenario parsing, the worker pool, streaming reduction, and the report/
+# manifest writers all on the real CLI path. fleet-out/fleet-manifest.json
+# is the CI artifact.
+fleet-smoke:
+	$(GO) run ./cmd/fleetrun -scenario testdata/fleet-smoke.json -workers 2 -out fleet-out
+
+ci: vet build lint race smoke fleet-smoke

@@ -14,6 +14,7 @@ package cellwheels
 // in EXPERIMENTS.md.
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
@@ -483,6 +484,35 @@ func BenchmarkCampaignRun(b *testing.B) {
 					GamingDuration: 15 * time.Second,
 				}
 				core.NewCampaign(cfg).Run()
+			}
+		})
+	}
+}
+
+// BenchmarkFleetRun tracks the fleet engine's scaling: the same 4-run
+// fleet (2 sweep cells × 2 replicates) at 1, 2, and 4 concurrent runs.
+// The fleet report and manifest are byte-identical across worker counts,
+// so the sub-benchmarks differ only in wall clock.
+func BenchmarkFleetRun(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunFleet(FleetConfig{
+					MasterSeed: 1,
+					Replicates: 2,
+					Base:       Config{LimitKm: 40, VideoSeconds: 20, GamingSeconds: 15, SkipStatic: true},
+					Sweep: []SweepAxis{{
+						Field:  "disable_edge",
+						Values: []json.RawMessage{json.RawMessage("false"), json.RawMessage("true")},
+					}},
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed() > 0 {
+					b.Fatalf("%d fleet runs failed", res.Failed())
+				}
 			}
 		})
 	}

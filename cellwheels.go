@@ -38,37 +38,39 @@ import (
 )
 
 // Config parameterizes a study. The zero value runs the paper's full
-// 8-day methodology over the whole route.
+// 8-day methodology over the whole route. The JSON tags are the field
+// names fleet scenarios use, both in a scenario's "base" section and as
+// sweep axis fields (see RunFleet).
 type Config struct {
 	// Seed makes the study reproducible; equal configs with equal seeds
 	// produce identical datasets.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// LimitKm truncates the drive after this many kilometers; 0 means
 	// the full 5,711 km route. Small values make quick demos.
-	LimitKm float64
+	LimitKm float64 `json:"limit_km"`
 	// SkipApps drops the four application workloads from the rotation.
-	SkipApps bool
+	SkipApps bool `json:"skip_apps"`
 	// SkipStatic drops the per-city static baselines.
-	SkipStatic bool
+	SkipStatic bool `json:"skip_static"`
 	// SkipPassive drops the passive handover-logger phones.
-	SkipPassive bool
+	SkipPassive bool `json:"skip_passive"`
 	// DisableEdge removes the Wavelength edge servers (ablation).
-	DisableEdge bool
+	DisableEdge bool `json:"disable_edge"`
 	// DisablePolicy serves every UE from the best deployed technology
 	// regardless of traffic (ablation of the elevation policy).
-	DisablePolicy bool
+	DisablePolicy bool `json:"disable_policy"`
 	// VideoSeconds and GamingSeconds shorten the two long app tests;
 	// zero keeps the paper's durations (180 s and 90 s).
-	VideoSeconds  int
-	GamingSeconds int
+	VideoSeconds  int `json:"video_seconds"`
+	GamingSeconds int `json:"gaming_seconds"`
 	// Workers caps how many operator lanes are simulated concurrently;
 	// 0 means GOMAXPROCS. Any value produces byte-identical output.
-	Workers int
+	Workers int `json:"workers"`
 	// Obs, when non-nil, receives metrics, phase timings, and progress
 	// from the run (see internal/obs). It is a write-only side channel:
 	// enabling it never changes the dataset — the simulation is
 	// byte-identical with Obs set or nil (pinned by a regression test).
-	Obs *obs.Recorder
+	Obs *obs.Recorder `json:"-"`
 }
 
 // fingerprint hashes the deterministic inputs of the config — everything
@@ -236,6 +238,26 @@ func Load(r io.Reader) (*Study, error) {
 
 // WriteJSON serializes the full dataset.
 func (s *Study) WriteJSON(w io.Writer) error { return s.db.WriteJSON(w) }
+
+// WriteJSONFile serializes the full dataset to path atomically: staged
+// in a temp file next to the target and renamed into place only after a
+// complete write, so a failed or interrupted write never leaves a
+// truncated dataset behind. The bytes written are exactly WriteJSON's.
+func (s *Study) WriteJSONFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".dataset-tmp-*")
+	if err != nil {
+		return err
+	}
+	werr := s.WriteJSON(tmp)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
 
 // WriteCSV writes the per-table CSV files into dir.
 func (s *Study) WriteCSV(dir string) error {

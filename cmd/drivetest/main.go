@@ -132,27 +132,14 @@ func main() {
 	}
 }
 
-// writeDataset serializes the dataset atomically: staged in a temp file
-// next to the target and renamed into place only after a complete write,
-// matching RunArchivingRaw's .drm pattern — a failed write never leaves a
-// truncated dataset behind.
+// writeDataset serializes the dataset atomically via WriteJSONFile —
+// a failed write never leaves a truncated dataset behind.
 func writeDataset(path string, study *cellwheels.Study) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".dataset-tmp-*")
-	if err != nil {
-		return err
-	}
-	werr := study.WriteJSON(tmp)
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return werr
-	}
-	return os.Rename(tmp.Name(), path)
+	return study.WriteJSONFile(path)
 }
 
-// writeManifest writes the run manifest with the same atomic staging.
+// writeManifest writes the run manifest with atomic temp-and-rename
+// staging, matching RunArchivingRaw's .drm pattern.
 func writeManifest(path string, rec *obs.Recorder) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-tmp-*")
 	if err != nil {

@@ -1,0 +1,146 @@
+// Command fleetrun executes a fleet scenario: many cellwheels campaigns
+// — a sweep grid over config fields times a replicate count — run as one
+// deterministic job, reduced to cross-replicate statistics per sweep
+// cell.
+//
+// Usage:
+//
+//	fleetrun -scenario fleet.json [-workers N] [-out dir]
+//	         [-archive] [-metrics manifest.json]
+//
+// The fleet report is printed to stdout and written, together with the
+// fleet manifest (the full run matrix with per-run seeds and outcomes),
+// into the -out directory. Both are byte-identical for any -workers
+// value. -archive additionally keeps every run's full dataset under
+// <out>/runs/; without it datasets are discarded as soon as their
+// headline metrics are folded in, so fleets of any size run in bounded
+// memory.
+//
+// A run that fails — including one that panics — is contained: it is
+// recorded in the fleet manifest with its error, its sibling runs
+// complete, and fleetrun exits nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/nuwins/cellwheels"
+	"github.com/nuwins/cellwheels/internal/obs"
+)
+
+// testHookStart is the test-only failure-injection seam: main_test.go
+// points it at a panicking hook to pin the containment contract through
+// the real CLI path. Always nil in production.
+var testHookStart func(index int, cell string, replicate int)
+
+func main() { os.Exit(realMain(os.Args[1:])) }
+
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("fleetrun", flag.ContinueOnError)
+	var (
+		scenario    = fs.String("scenario", "", "fleet scenario JSON (required; see ParseFleetScenario)")
+		workers     = fs.Int("workers", 0, "concurrent runs; overrides the scenario's value (0 = keep it); output is identical for any value")
+		out         = fs.String("out", "fleet-out", "output directory for fleet-report.txt and fleet-manifest.json")
+		archive     = fs.Bool("archive", false, "keep every run's full dataset under <out>/runs/ instead of discarding after reduction")
+		metricsPath = fs.String("metrics", "", "write the merged observability manifest (JSON) to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scenario == "" {
+		fmt.Fprintln(os.Stderr, "fleetrun: -scenario is required")
+		fs.Usage()
+		return 2
+	}
+
+	// The recorder is the only wall clock this command touches.
+	rec := obs.New()
+
+	f, err := os.Open(*scenario)
+	if err != nil {
+		return fail(err)
+	}
+	cfg, err := cellwheels.ParseFleetScenario(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return fail(err)
+	}
+	cfg.Obs = rec
+	cfg.TestHookStart = testHookStart
+	if *workers != 0 {
+		cfg.Workers = *workers
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fail(err)
+	}
+	if *archive {
+		cfg.ArchiveDir = filepath.Join(*out, "runs")
+	}
+
+	res, err := cellwheels.RunFleet(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "fleet finished in %v: %d runs, %d failed\n",
+		rec.Elapsed().Round(time.Millisecond), res.Runs(), res.Failed())
+
+	report := res.Report()
+	fmt.Print(report)
+	if err := writeFileAtomic(filepath.Join(*out, "fleet-report.txt"), func(w io.Writer) error {
+		_, werr := io.WriteString(w, report)
+		return werr
+	}); err != nil {
+		return fail(err)
+	}
+	manifestPath := filepath.Join(*out, "fleet-manifest.json")
+	if err := writeFileAtomic(manifestPath, res.WriteManifest); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "fleet report and manifest written to %s/\n", *out)
+
+	if *metricsPath != "" {
+		rec.SetLabel("fleet_manifest", manifestPath)
+		if err := writeFileAtomic(*metricsPath, rec.WriteManifest); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "obs manifest written to %s\n", *metricsPath)
+	}
+
+	if res.Failed() > 0 {
+		fmt.Fprintf(os.Stderr, "fleetrun: %d of %d runs failed (see %s)\n",
+			res.Failed(), res.Runs(), manifestPath)
+		return 1
+	}
+	return 0
+}
+
+// writeFileAtomic stages the write in a temp file next to the target and
+// renames it into place only after a complete write — the repo-wide
+// pattern for artifacts that must never exist truncated.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".fleet-tmp-*")
+	if err != nil {
+		return err
+	}
+	werr := write(tmp)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "fleetrun:", err)
+	return 1
+}

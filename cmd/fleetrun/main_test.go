@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nuwins/cellwheels/internal/fleet"
+)
+
+// smallScenario is a 3-run (1 cell × 3 replicates) fleet small enough
+// for CLI tests.
+const smallScenario = `{
+  "master_seed": 5,
+  "replicates": 3,
+  "base": {"limit_km": 6, "skip_apps": true, "skip_static": true, "skip_passive": true}
+}`
+
+func writeScenario(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(path, []byte(smallScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readFleetManifest(t *testing.T, out string) fleet.Manifest {
+	t.Helper()
+	f, err := os.Open(filepath.Join(out, "fleet-manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	man, err := fleet.ReadManifest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return man
+}
+
+func TestFleetrunSuccess(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out")
+	code := realMain([]string{
+		"-scenario", writeScenario(t, dir),
+		"-workers", "2",
+		"-out", out,
+		"-metrics", filepath.Join(dir, "obs.json"),
+		"-archive",
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	man := readFleetManifest(t, out)
+	if man.Failed != 0 || len(man.Runs) != 3 {
+		t.Fatalf("manifest = %d runs, %d failed; want 3 ok", len(man.Runs), man.Failed)
+	}
+	for _, rec := range man.Runs {
+		if rec.Dataset == "" {
+			t.Errorf("run %d has no archived dataset despite -archive", rec.Index)
+		}
+		if _, err := os.Stat(filepath.Join(out, "runs", rec.Dataset)); err != nil {
+			t.Errorf("archived dataset missing: %v", err)
+		}
+	}
+	report, err := os.ReadFile(filepath.Join(out, "fleet-report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(report), "3 replicates") {
+		t.Errorf("report file looks wrong:\n%s", report)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "obs.json")); err != nil {
+		t.Errorf("obs manifest missing: %v", err)
+	}
+}
+
+// TestFleetrunPanicContainment pins the acceptance contract through the
+// real CLI path: an injected per-run panic yields a manifest failure
+// entry and a nonzero exit code without killing sibling runs.
+func TestFleetrunPanicContainment(t *testing.T) {
+	testHookStart = func(index int, cell string, replicate int) {
+		if index == 1 {
+			panic("injected CLI failure")
+		}
+	}
+	defer func() { testHookStart = nil }()
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out")
+	code := realMain([]string{
+		"-scenario", writeScenario(t, dir),
+		"-workers", "2",
+		"-out", out,
+	})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 for a fleet with a failed run", code)
+	}
+	man := readFleetManifest(t, out)
+	if man.Failed != 1 || len(man.Runs) != 3 {
+		t.Fatalf("manifest = %d runs, %d failed; want 3 runs, 1 failed", len(man.Runs), man.Failed)
+	}
+	for _, rec := range man.Runs {
+		if rec.Index == 1 {
+			if rec.Status != fleet.RunFailed || !strings.Contains(rec.Error, "injected CLI failure") {
+				t.Errorf("run 1 = %+v, want the contained panic", rec)
+			}
+		} else if rec.Status != fleet.RunOK {
+			t.Errorf("sibling run %d was killed: %+v", rec.Index, rec)
+		}
+	}
+}
+
+func TestFleetrunUsageErrors(t *testing.T) {
+	if code := realMain(nil); code != 2 {
+		t.Errorf("missing -scenario: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-scenario", "/does/not/exist.json"}); code != 1 {
+		t.Errorf("unreadable scenario: exit %d, want 1", code)
+	}
+}

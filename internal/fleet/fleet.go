@@ -1,0 +1,185 @@
+// Package fleet orchestrates many measurement campaigns as one
+// deterministic job: a scenario — a sweep grid over configuration fields
+// plus a replicate count — is expanded into a run matrix, every run gets
+// a seed forked from the fleet master seed, a bounded worker pool
+// executes the runs concurrently with per-run panic containment, and
+// finished runs are folded streamingly into per-cell replicate
+// accumulators, so a 100-run fleet never holds 100 datasets in memory.
+//
+// The package is the scenario layer above the single-campaign engine and
+// deliberately knows nothing about campaigns: a run is whatever the
+// caller's RunFunc does, and all the engine sees of it is a flat metric
+// map. cellwheels.RunFleet supplies the campaign runner.
+//
+// Determinism contract (the fleet-level restatement of the per-campaign
+// one): the report and the manifest are byte-identical for any worker
+// count. Three properties carry it:
+//
+//   - run identity is positional: each run's seed is a pure function of
+//     (master seed, cell key, replicate index), via simrand-style stream
+//     forking — never of execution order (see RunSeed);
+//   - reduction is slot-addressed: a finished run's metrics land in the
+//     (cell, metric, replicate) slot they belong to, so the folded state
+//     is independent of completion order;
+//   - failures are contained and recorded: a run that errors or panics
+//     becomes a manifest entry, its replicate slot stays empty (NaN,
+//     ignored by the five-number summaries), and every sibling run still
+//     executes.
+package fleet
+
+import (
+	"errors"
+
+	"github.com/nuwins/cellwheels/internal/obs"
+)
+
+// Metrics is one run's headline numbers, keyed by metric name (e.g.
+// "Verizon/drive_dl_mbps"). Values may be NaN when a run cannot produce
+// a metric (e.g. apps skipped); NaNs are dropped by the reduction.
+type Metrics map[string]float64
+
+// RunResult is what a RunFunc hands back to the engine.
+type RunResult struct {
+	// Metrics is folded into the run's sweep cell; the run's full
+	// output (dataset, logs) must not be returned — archive it to disk
+	// or discard it, that is the streaming-reduction contract.
+	Metrics Metrics
+	// Dataset optionally records where the run's full dataset was
+	// archived. The engine stores it in the manifest and never reads it.
+	Dataset string
+}
+
+// RunSpec identifies one run of the expanded matrix.
+type RunSpec struct {
+	// Index is the run's position in the matrix: cells in sweep order,
+	// replicates within a cell. It names archive files and manifest rows.
+	Index int
+	// Cell is the sweep cell the run belongs to.
+	Cell Cell
+	// Replicate is the run's replicate number within its cell, from 0.
+	Replicate int
+	// Seed is the run's derived campaign seed (see RunSeed).
+	Seed int64
+}
+
+// RunFunc executes one run. It is called from pool goroutines and must
+// be safe to run concurrently with other runs; a panic is contained and
+// recorded as that run's failure.
+type RunFunc func(RunSpec) (RunResult, error)
+
+// Config parameterizes a fleet.
+type Config struct {
+	// MasterSeed seeds the whole fleet; per-run seeds are forked from it.
+	MasterSeed int64
+	// Replicates is how many seeded runs execute per sweep cell;
+	// values below 1 mean 1.
+	Replicates int
+	// Sweep is the grid of field overrides; empty means one base cell.
+	Sweep []Axis
+	// Workers caps how many runs execute concurrently (0 = GOMAXPROCS).
+	// Any value produces a byte-identical report and manifest.
+	Workers int
+	// Run executes one run of the matrix. Required.
+	Run RunFunc
+	// MetricOrder fixes the order metrics print in the report; names not
+	// listed are appended in sorted order.
+	MetricOrder []string
+	// Obs receives fleet-level phase timings and run counters. Side
+	// channel only: nil and non-nil recorders produce identical results.
+	Obs *obs.Recorder
+	// Start, when non-nil, runs at the beginning of every run on its
+	// worker goroutine — a test-only seam for injecting failures
+	// (including panics) into the pool. Production callers leave it nil.
+	Start func(RunSpec)
+}
+
+// Result is a completed fleet: cross-replicate statistics per sweep cell
+// plus the manifest of every run.
+type Result struct {
+	// Cells holds one summary per sweep cell, in sweep order.
+	Cells []CellSummary
+	// Manifest records the full run matrix with per-run outcomes.
+	Manifest Manifest
+}
+
+// Run expands the scenario into its run matrix and executes it. An error
+// is returned only for a malformed scenario; individual run failures are
+// contained, counted in Manifest.Failed, and recorded per run.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Run == nil {
+		return nil, errors.New("fleet: Config.Run is nil")
+	}
+	if cfg.Replicates < 1 {
+		cfg.Replicates = 1
+	}
+
+	stopExpand := cfg.Obs.StartPhase("fleet/expand")
+	cells, err := Expand(cfg.Sweep)
+	if err != nil {
+		stopExpand()
+		return nil, err
+	}
+	specs := make([]RunSpec, 0, len(cells)*cfg.Replicates)
+	for _, cell := range cells {
+		for rep := 0; rep < cfg.Replicates; rep++ {
+			specs = append(specs, RunSpec{
+				Index:     len(specs),
+				Cell:      cell,
+				Replicate: rep,
+				Seed:      RunSeed(cfg.MasterSeed, cell.Key, rep),
+			})
+		}
+	}
+	stopExpand()
+
+	acc := newAccumulator(cells, cfg.Replicates)
+	records := make([]RunRecord, len(specs))
+	okByCell := make([]int, len(cells))
+	failed := 0
+
+	stopRuns := cfg.Obs.StartPhase("fleet/runs")
+	okCounter := cfg.Obs.Counter("fleet/runs_ok")
+	failCounter := cfg.Obs.Counter("fleet/runs_failed")
+	// collect runs on a single goroutine (see runAll), so the folds and
+	// counters below need no locking.
+	collect := func(spec RunSpec, res RunResult, err error) {
+		rec := RunRecord{
+			Index:     spec.Index,
+			Cell:      spec.Cell.Key,
+			Replicate: spec.Replicate,
+			Seed:      spec.Seed,
+		}
+		if err != nil {
+			rec.Status = RunFailed
+			rec.Error = err.Error()
+			failed++
+			failCounter.Add(1)
+		} else {
+			rec.Status = RunOK
+			rec.Dataset = res.Dataset
+			acc.fold(spec, res.Metrics)
+			okByCell[acc.index[spec.Cell.Key]]++
+			okCounter.Add(1)
+		}
+		records[spec.Index] = rec
+	}
+	runAll(specs, cfg.Workers, cfg.Run, cfg.Start, collect)
+	stopRuns()
+
+	defer cfg.Obs.StartPhase("fleet/reduce")()
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = c.Key
+	}
+	return &Result{
+		Cells: acc.summarize(cfg.MetricOrder, okByCell),
+		Manifest: Manifest{
+			Schema:     ManifestSchema,
+			MasterSeed: cfg.MasterSeed,
+			Replicates: cfg.Replicates,
+			Cells:      keys,
+			Failed:     failed,
+			Runs:       records,
+		},
+	}, nil
+}

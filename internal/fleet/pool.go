@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// outcome pairs a finished run with what happened to it.
+type outcome struct {
+	spec RunSpec
+	res  RunResult
+	err  error
+}
+
+// runAll executes every spec through fn on a pool of at most workers
+// goroutines and streams finished runs into collect on a single
+// goroutine (the caller's), in completion order. collect therefore needs
+// no locking; everything it folds into must be slot-addressed so the
+// completion order cannot show in the output.
+func runAll(specs []RunSpec, workers int, fn RunFunc, start func(RunSpec), collect func(RunSpec, RunResult, error)) {
+	if len(specs) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	jobs := make(chan RunSpec)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range jobs {
+				res, err := safeRun(spec, fn, start)
+				results <- outcome{spec: spec, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, s := range specs {
+			jobs <- s
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	for o := range results {
+		collect(o.spec, o.res, o.err)
+	}
+}
+
+// safeRun invokes one run with panic containment: a panicking run is
+// converted into an error attributed to that run, so a single failure
+// never takes down the pool or its sibling runs. The recovered value is
+// rendered without a stack trace — goroutine ids and addresses would
+// make the manifest nondeterministic.
+func safeRun(spec RunSpec, fn RunFunc, start func(RunSpec)) (res RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = RunResult{}
+			err = fmt.Errorf("fleet: run panicked: %v", r)
+		}
+	}()
+	if start != nil {
+		start(spec)
+	}
+	return fn(spec)
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"github.com/nuwins/cellwheels/internal/stats"
+)
+
+// accumulator folds finished runs into per-cell replicate slots. Values
+// are slot-addressed by (cell, metric, replicate), so the folded state —
+// and everything derived from it — is independent of the order runs
+// complete in, which is what makes the fleet report byte-identical for
+// any worker count. Only the flat metric maps are retained; the runs'
+// datasets are archived or discarded by the RunFunc before folding.
+type accumulator struct {
+	cells []Cell
+	reps  int
+	index map[string]int // cell key → position in cells
+	// values[cell][metric] is a replicate-indexed slice. Slots of failed
+	// or metric-less runs stay NaN and are dropped by the five-number
+	// summaries.
+	values []map[string][]float64
+}
+
+func newAccumulator(cells []Cell, reps int) *accumulator {
+	a := &accumulator{
+		cells:  cells,
+		reps:   reps,
+		index:  make(map[string]int, len(cells)),
+		values: make([]map[string][]float64, len(cells)),
+	}
+	for i, c := range cells {
+		a.index[c.Key] = i
+		a.values[i] = map[string][]float64{}
+	}
+	return a
+}
+
+// fold stores one finished run's metrics in their replicate slots.
+func (a *accumulator) fold(spec RunSpec, m Metrics) {
+	slot := a.values[a.index[spec.Cell.Key]]
+	for name, v := range m {
+		vs, ok := slot[name]
+		if !ok {
+			vs = nanSlice(a.reps)
+			slot[name] = vs
+		}
+		vs[spec.Replicate] = v
+	}
+}
+
+func nanSlice(n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = math.NaN()
+	}
+	return vs
+}
+
+// CellSummary is the cross-replicate statistics of one sweep cell.
+type CellSummary struct {
+	Cell Cell
+	// OK counts the cell's replicates that completed.
+	OK int
+	// Metrics holds one five-number summary per metric, in report order.
+	Metrics []MetricSummary
+}
+
+// MetricSummary is one metric's five-number summary across a cell's
+// replicates.
+type MetricSummary struct {
+	Name string
+	// N counts the replicates that produced a finite value.
+	N                          int
+	Median, P25, P75, Min, Max float64
+}
+
+// summarize reduces the slots to per-metric five-number summaries. Each
+// cell's metrics follow order first, then any remaining names sorted, so
+// the report layout is deterministic whatever order runs finished in.
+func (a *accumulator) summarize(order []string, okByCell []int) []CellSummary {
+	out := make([]CellSummary, len(a.cells))
+	for i, c := range a.cells {
+		slot := a.values[i]
+		cs := CellSummary{Cell: c, OK: okByCell[i]}
+		for _, name := range orderedNames(slot, order) {
+			vs := slot[name]
+			med, p25, p75, lo, hi := stats.FiveNum(vs)
+			n := 0
+			for _, v := range vs {
+				if !math.IsNaN(v) {
+					n++
+				}
+			}
+			cs.Metrics = append(cs.Metrics, MetricSummary{
+				Name: name, N: n,
+				Median: med, P25: p25, P75: p75, Min: lo, Max: hi,
+			})
+		}
+		out[i] = cs
+	}
+	return out
+}
+
+// orderedNames lists slot's metric names: those in order first (in that
+// order), the rest sorted.
+func orderedNames(slot map[string][]float64, order []string) []string {
+	used := make(map[string]bool, len(order))
+	var names []string
+	for _, n := range order {
+		if _, ok := slot[n]; ok && !used[n] {
+			names = append(names, n)
+			used[n] = true
+		}
+	}
+	var rest []string
+	for n := range slot {
+		if !used[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/nuwins/cellwheels/internal/stats"
+)
+
+// Report renders the fleet's cross-replicate statistics, one block per
+// sweep cell in sweep order. Every metric prints as
+// "median [p25–p75] (min–max)" over the cell's completed replicates. For
+// each cell after the first, a metric whose interquartile range does not
+// overlap the first cell's is marked with '*' — a bootstrap-free "the
+// replicate spread alone does not explain this difference" flag.
+//
+// The rendering reads only slot-addressed state, so the report is
+// byte-identical for any worker count.
+func (r *Result) Report() string {
+	var b strings.Builder
+	man := r.Manifest
+	fmt.Fprintf(&b, "fleet: master seed %d — %d cells × %d replicates = %d runs, %d failed\n",
+		man.MasterSeed, len(man.Cells), man.Replicates, len(man.Runs), man.Failed)
+
+	var baseline map[string]MetricSummary
+	flagged := false
+	for ci, cs := range r.Cells {
+		fmt.Fprintf(&b, "\ncell %s — %d/%d replicates ok\n", cs.Cell.Label(), cs.OK, man.Replicates)
+		width := 0
+		for _, m := range cs.Metrics {
+			if len(m.Name) > width {
+				width = len(m.Name)
+			}
+		}
+		for _, m := range cs.Metrics {
+			mark := ""
+			if ci > 0 {
+				if base, ok := baseline[m.Name]; ok && m.N > 0 && base.N > 0 &&
+					!stats.IQROverlap(m.P25, m.P75, base.P25, base.P75) {
+					mark = " *"
+					flagged = true
+				}
+			}
+			fmt.Fprintf(&b, "  %-*s  %s%s\n", width, m.Name, renderFiveNum(m), mark)
+		}
+		if ci == 0 {
+			baseline = make(map[string]MetricSummary, len(cs.Metrics))
+			for _, m := range cs.Metrics {
+				baseline[m.Name] = m
+			}
+		}
+	}
+	if flagged {
+		b.WriteString("\n* IQR disjoint from the first cell's — replicate spread alone does not explain the difference\n")
+	}
+	return b.String()
+}
+
+// renderFiveNum formats one metric row; cells with no finite replicate
+// values render as "-".
+func renderFiveNum(m MetricSummary) string {
+	if m.N == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s [%s–%s] (%s–%s) n=%d",
+		fnum(m.Median), fnum(m.P25), fnum(m.P75), fnum(m.Min), fnum(m.Max), m.N)
+}
+
+func fnum(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,26 @@
+package fleet
+
+import (
+	"strconv"
+
+	"github.com/nuwins/cellwheels/internal/simrand"
+)
+
+// RunSeed derives the campaign seed for one run of the fleet matrix via
+// simrand's stable stream forking: the seed is a pure function of
+// (master seed, cell key, replicate index) — never of execution order,
+// worker count, or which other runs exist. Raising the replicate count
+// therefore never reseeds existing replicates, and two fleets with the
+// same master seed agree on every (cell, replicate) they share.
+//
+// The scheme is the fleet-level twin of the campaign's own stream tree:
+// the master seed roots a stream, each run names a path below it
+// ("fleet" / cell key / replicate), and the first draw of that stream is
+// the run's seed.
+func RunSeed(master int64, cellKey string, replicate int) int64 {
+	return simrand.New(master).
+		Fork("fleet").
+		Fork("cell=" + cellKey).
+		Fork("rep=" + strconv.Itoa(replicate)).
+		Int63()
+}

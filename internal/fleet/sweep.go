@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Axis is one sweep dimension: a configuration field name and the values
+// it takes. Values are raw JSON, so the engine stays agnostic to the
+// config type being swept — the caller's RunFunc interprets them.
+type Axis struct {
+	Field  string            `json:"field"`
+	Values []json.RawMessage `json:"values"`
+}
+
+// Override is one (field, value) binding of a sweep cell. Overrides are
+// kept as an ordered slice, not a map, so every walk over them is
+// deterministic.
+type Override struct {
+	Field string
+	Value json.RawMessage
+}
+
+// Cell is one point of the sweep grid.
+type Cell struct {
+	// Key canonically identifies the cell: "f1=v1|f2=v2" in axis order,
+	// with compacted JSON values; "" for the empty sweep. Run seeds and
+	// manifest rows key off it, so it is part of the determinism
+	// contract — equal scenarios produce equal keys.
+	Key string
+	// Overrides are the cell's field bindings, in axis order.
+	Overrides []Override
+}
+
+// Label is the human-readable cell name; the empty sweep reads "(base)".
+func (c Cell) Label() string {
+	if c.Key == "" {
+		return "(base)"
+	}
+	return c.Key
+}
+
+// Expand builds the cartesian product of the axes — the sweep grid —
+// with the first axis varying slowest. An empty axis list yields the
+// single base cell.
+func Expand(axes []Axis) ([]Cell, error) {
+	seen := map[string]bool{}
+	for _, a := range axes {
+		if a.Field == "" {
+			return nil, fmt.Errorf("fleet: sweep axis with empty field name")
+		}
+		if seen[a.Field] {
+			return nil, fmt.Errorf("fleet: duplicate sweep field %q", a.Field)
+		}
+		seen[a.Field] = true
+		if len(a.Values) == 0 {
+			return nil, fmt.Errorf("fleet: sweep field %q has no values", a.Field)
+		}
+	}
+	cells := []Cell{{}}
+	for _, a := range axes {
+		next := make([]Cell, 0, len(cells)*len(a.Values))
+		for _, base := range cells {
+			for _, v := range a.Values {
+				canon, err := canonJSON(v)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: sweep field %q: bad value %s: %w", a.Field, v, err)
+				}
+				over := append(append([]Override(nil), base.Overrides...), Override{Field: a.Field, Value: canon})
+				next = append(next, Cell{Key: cellKey(over), Overrides: over})
+			}
+		}
+		cells = next
+	}
+	return cells, nil
+}
+
+// cellKey renders the canonical "f1=v1|f2=v2" identity of an override
+// set.
+func cellKey(over []Override) string {
+	parts := make([]string, len(over))
+	for i, o := range over {
+		parts[i] = o.Field + "=" + string(o.Value)
+	}
+	return strings.Join(parts, "|")
+}
+
+// canonJSON compacts a raw JSON value so equal values always produce
+// equal cell keys, however the scenario author spaced them.
+func canonJSON(v json.RawMessage) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, v); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}

@@ -123,6 +123,29 @@ func TestNondetObsExemption(t *testing.T) {
 	}
 }
 
+// TestNondetFleetNotExempt pins that the obs exemption does not leak to
+// the fleet engine: internal/fleet orchestrates simulations, so its
+// output is part of the determinism contract, and wall-clock reads in
+// fleet code must fail lint exactly as in any other simulation package.
+// The same fixture source used to pin the internal/obs exemption is
+// presented at the internal/fleet path and must produce findings.
+func TestNondetFleetNotExempt(t *testing.T) {
+	dir := filepath.Join("testdata", "nondetobs")
+	asFleet, err := LoadFixture(dir, "internal/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{asFleet}, []Rule{NondetRule{}})
+	if len(diags) != 2 {
+		t.Fatalf("internal/fleet produced %d nondet findings, want 2 (time.Now, time.Since): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "nondet" {
+			t.Errorf("unexpected rule %q", d.Rule)
+		}
+	}
+}
+
 // TestDiagnosticOrdering feeds two multi-file packages to Run in reversed
 // order and requires the output sorted by file, then position — the
 // property that makes the linter's own output deterministic.

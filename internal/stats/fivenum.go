@@ -1,0 +1,41 @@
+package stats
+
+import "math"
+
+// FiveNum computes the five-number summary of xs — median, p25, p75,
+// min, max — with the same interpolated quantiles as CDF.Quantile, after
+// dropping NaNs (in the fleet engine a failed replicate leaves a NaN
+// slot, and one failure must not poison its cell's statistics). An empty
+// or all-NaN input yields five NaNs. The input slice is not modified.
+//
+// This is the replicate-summary primitive of the fleet report: every
+// statistic it returns is an order statistic of the sorted values, so the
+// result is invariant under permutation of xs — fold order, and therefore
+// worker count, cannot show in it.
+func FiveNum(xs []float64) (median, p25, p75, min, max float64) {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		nan := math.NaN()
+		return nan, nan, nan, nan, nan
+	}
+	c := NewCDF(clean)
+	return c.Median(), c.Quantile(0.25), c.Quantile(0.75), c.Min(), c.Max()
+}
+
+// IQROverlap reports whether the interquartile ranges [aLo, aHi] and
+// [bLo, bHi] intersect. The fleet report uses it as a bootstrap-free
+// screen for sweep effects: when a cell's IQR is disjoint from the
+// baseline cell's, replicate spread alone does not explain the
+// difference. Any NaN bound reports true — overlap cannot be ruled out
+// without both ranges.
+func IQROverlap(aLo, aHi, bLo, bHi float64) bool {
+	if math.IsNaN(aLo) || math.IsNaN(aHi) || math.IsNaN(bLo) || math.IsNaN(bHi) {
+		return true
+	}
+	return aLo <= bHi && bLo <= aHi
+}
