@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench lint lint-fixtures smoke fleet-smoke ci
+.PHONY: build test race vet bench lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,21 @@ bench:
 lint:
 	$(GO) run ./cmd/lintwheels ./...
 
+# lint-baseline checks findings against the checked-in ratchet file:
+# baselined findings are suppressed, stale entries fail the build, so
+# the file can only shrink. It is expected to stay empty at merge;
+# regenerate during a rule rollout with
+#   $(GO) run ./cmd/lintwheels -baseline lint-baseline.json -write-baseline ./...
+lint-baseline:
+	$(GO) run ./cmd/lintwheels -baseline lint-baseline.json ./...
+
+# lint-sarif renders the machine-readable SARIF 2.1.0 report CI uploads
+# as an artifact. Generation never fails the target — the artifact must
+# exist precisely when there are findings — lint/lint-baseline do the
+# gating.
+lint-sarif:
+	$(GO) run ./cmd/lintwheels -format sarif -o lint.sarif ./... || true
+
 # lint-fixtures self-checks the rule corpus: every rule's testdata
 # fixtures must produce exactly the golden diagnostics.
 lint-fixtures:
@@ -43,4 +58,6 @@ smoke:
 fleet-smoke:
 	$(GO) run ./cmd/fleetrun -scenario testdata/fleet-smoke.json -workers 2 -out fleet-out
 
-ci: vet build lint race smoke fleet-smoke
+# lint-sarif runs before the lint gates so the artifact exists for CI
+# upload even when lint fails the build.
+ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke

@@ -95,6 +95,7 @@ func main() {
 	if *rawDir != "" {
 		fmt.Fprintf(os.Stderr, "raw captures archived to %s/\n", *rawDir)
 	}
+	//lint:allow timetaint — stderr banner timing only; never reaches the dataset
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", rec.Elapsed().Round(time.Millisecond))
 	fmt.Fprint(os.Stderr, study.Summary())
 

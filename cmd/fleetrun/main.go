@@ -89,6 +89,7 @@ func realMain(args []string) int {
 		return fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "fleet finished in %v: %d runs, %d failed\n",
+		//lint:allow timetaint — stderr banner timing only; never reaches the report or manifest
 		rec.Elapsed().Round(time.Millisecond), res.Runs(), res.Failed())
 
 	report := res.Report()

@@ -1,17 +1,24 @@
 // Command lintwheels runs the repository's determinism & correctness
 // linter (internal/lint) over the module: a stdlib-only static-analysis
-// pass that keeps campaigns a pure function of (Config, seed).
+// pass — per-package rules plus an interprocedural call-graph/dataflow
+// engine — that keeps campaigns a pure function of (Config, seed).
 //
 // Usage:
 //
-//	lintwheels ./...              # lint every package in the module
-//	lintwheels ./internal/...     # lint a subtree
-//	lintwheels -rules             # list the rule suite and exit
+//	lintwheels ./...                        # lint every package in the module
+//	lintwheels ./internal/...               # lint a subtree (interprocedural
+//	                                        # rules see only the subtree)
+//	lintwheels -rules                       # list the rule suite, sorted, and exit
+//	lintwheels -format sarif -o lint.sarif ./...
+//	lintwheels -baseline lint-baseline.json ./...            # check mode
+//	lintwheels -baseline lint-baseline.json -write-baseline ./...
 //
 // Diagnostics print as "file:line:col: [rule] message", sorted by file
-// and position; the exit status is non-zero when anything is found.
-// Intentional violations are silenced at the call site with
-// "//lint:allow <rule> — reason".
+// and position; -format json and -format sarif emit machine-readable
+// reports with the same ordering. Output is byte-identical for every
+// -workers value. The exit status is non-zero when anything is found,
+// including stale baseline entries. Intentional violations are silenced
+// at the call site with "//lint:allow <rule>[,<rule>] — reason".
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 
 	"github.com/nuwins/cellwheels/internal/lint"
 )
@@ -26,12 +35,19 @@ import (
 func main() {
 	var (
 		chdir     = flag.String("C", "", "change to this directory before linting")
-		listRules = flag.Bool("rules", false, "list rules and exit")
+		listRules = flag.Bool("rules", false, "list rules (sorted by name) and exit")
+		format    = flag.String("format", "text", "output format: text, json, or sarif")
+		outPath   = flag.String("o", "", "write the report to this file instead of stdout")
+		baseline  = flag.String("baseline", "", "baseline file: suppress known findings, fail on stale entries")
+		writeBase = flag.Bool("write-baseline", false, "rewrite the -baseline file from current findings and exit")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "packages checked concurrently (output is identical for any value)")
 	)
 	flag.Parse()
 
 	if *listRules {
-		for _, r := range lint.AllRules() {
+		rules := lint.AllRules()
+		sort.Slice(rules, func(i, j int) bool { return rules[i].Name() < rules[j].Name() })
+		for _, r := range rules {
 			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
 		}
 		return
@@ -43,26 +59,103 @@ func main() {
 	}
 	root, err := findModuleRoot(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lintwheels:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	pkgs, err := lint.LoadModule(root, flag.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lintwheels:", err)
-		os.Exit(2)
+		fail(err)
 	}
-	diags := lint.Run(pkgs, lint.AllRules())
-	for _, d := range diags {
-		// Print module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = filepath.ToSlash(rel)
+	diags := lint.RunWorkers(pkgs, lint.AllRules(), *workers)
+	// Module-relative paths keep every output stable across checkouts.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Println(d)
 	}
+
+	var stale []lint.BaselineEntry
+	if *baseline != "" {
+		if *writeBase {
+			if err := lint.WriteBaseline(*baseline, lint.NewBaseline(diags)); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "lintwheels: wrote %d baseline entr%s to %s\n",
+				len(diags), plural(len(diags), "y", "ies"), *baseline)
+			return
+		}
+		b, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		diags, stale = lint.ApplyBaseline(b, diags)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		out = f
+	}
+
+	switch *format {
+	case "text":
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	case "json":
+		rep, err := lint.JSONReport(diags)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := out.Write(rep); err != nil {
+			fail(err)
+		}
+	case "sarif":
+		rep, err := lint.SARIFReport(diags, lint.AllRules())
+		if err != nil {
+			fail(err)
+		}
+		if _, err := out.Write(rep); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown -format %q (want text, json, or sarif)", *format))
+	}
+
+	bad := false
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lintwheels: %d finding(s)\n", len(diags))
+		bad = true
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "lintwheels: stale baseline entry: %s [%s] %s (count %d no longer fires)\n", e.File, e.Rule, e.Msg, e.Count)
+		bad = true
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "lintwheels: baseline %s is stale; regenerate with -write-baseline\n", *baseline)
+	}
+	if bad {
 		os.Exit(1)
 	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lintwheels:", err)
+	os.Exit(2)
 }
 
 // findModuleRoot walks upward from dir to the nearest go.mod.

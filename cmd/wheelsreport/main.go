@@ -49,6 +49,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "fleet of %d replicates finished in %v\n\n",
+			//lint:allow timetaint — stderr banner timing only; never reaches the report
 			res.Runs(), rec.Elapsed().Round(time.Millisecond))
 		fmt.Print(res.Report())
 		if res.Failed() > 0 {
@@ -63,6 +64,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wheelsreport:", err)
 		os.Exit(1)
 	}
+	//lint:allow timetaint — stderr banner timing only; never reaches the report
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", rec.Elapsed().Round(time.Millisecond))
 	fmt.Print(study.Summary())
 	fmt.Println()

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// findFunc looks a function or method up in the loaded fixture packages
+// by module-relative dir, optional receiver type name, and name.
+func findFunc(t *testing.T, pkgs []*Package, rel, recv, name string) *types.Func {
+	t.Helper()
+	for _, p := range pkgs {
+		if p.Rel != rel {
+			continue
+		}
+		if recv == "" {
+			if fn, ok := p.Pkg.Scope().Lookup(name).(*types.Func); ok {
+				return fn
+			}
+			continue
+		}
+		obj := p.Pkg.Scope().Lookup(recv)
+		if obj == nil {
+			continue
+		}
+		o, _, _ := types.LookupFieldOrMethod(types.NewPointer(obj.Type()), true, p.Pkg, name)
+		if fn, ok := o.(*types.Func); ok {
+			return fn
+		}
+	}
+	t.Fatalf("fixture function %s/%s.%s not found", rel, recv, name)
+	return nil
+}
+
+// TestAnalysisTaintSummaries pins the taint half of the interprocedural
+// engine against the timetaint mini-module: taint enters at time.Since,
+// flows through an unexported helper, and surfaces in Elapsed's summary
+// with the full provenance chain — while the write-only counter surface
+// stays clean.
+func TestAnalysisTaintSummaries(t *testing.T) {
+	pkgs := loadModuleFixtureT(t, "timetaint")
+	a := Analyze(pkgs)
+
+	tainted, why, _ := a.Summary(findFunc(t, pkgs, "internal/obs", "Recorder", "Elapsed"))
+	if !tainted {
+		t.Fatal("Elapsed not summarized as returning taint")
+	}
+	if want := "Elapsed ← sinceStart ← time.Since"; why != want {
+		t.Errorf("Elapsed provenance = %q, want %q", why, want)
+	}
+
+	for _, name := range []string{"Add", "Ticks", "Stamp"} {
+		if tainted, why, _ := a.Summary(findFunc(t, pkgs, "internal/obs", "Recorder", name)); tainted {
+			t.Errorf("%s summarized as returning taint (%s); counter surface must stay clean", name, why)
+		}
+	}
+	if tainted, _, _ := a.Summary(findFunc(t, pkgs, "internal/obs", "", "New")); tainted {
+		t.Error("New summarized as returning taint; a recorder value is not a clock reading")
+	}
+}
+
+// TestAnalysisGlobalWrites pins the global-write half: direct writes,
+// the transitive closure through calls, and the read-only negative.
+func TestAnalysisGlobalWrites(t *testing.T) {
+	pkgs := loadModuleFixtureT(t, "globalmut")
+	a := Analyze(pkgs)
+
+	names := func(vars []*types.Var) map[string]bool {
+		m := map[string]bool{}
+		for _, v := range vars {
+			m[v.Name()] = true
+		}
+		return m
+	}
+
+	_, _, bump := a.Summary(findFunc(t, pkgs, "internal/obs", "", "Bump"))
+	if !names(bump)["hits"] {
+		t.Errorf("Bump writesGlobals = %v, want hits", bump)
+	}
+
+	_, _, record := a.Summary(findFunc(t, pkgs, "internal/sim", "", "Record"))
+	got := names(record)
+	for _, want := range []string{"runCount", "lookup", "hits"} {
+		if !got[want] {
+			t.Errorf("Record writesGlobals missing %s (direct + transitive), got %v", want, record)
+		}
+	}
+
+	if _, _, snap := a.Summary(findFunc(t, pkgs, "internal/obs", "", "Snapshot")); len(snap) != 0 {
+		t.Errorf("Snapshot writesGlobals = %v, want none (read-only)", snap)
+	}
+	if _, _, gen := a.Summary(findFunc(t, pkgs, "internal/sim", "", "Gen")); len(gen) != 0 {
+		t.Errorf("Gen writesGlobals = %v, want none (read-only)", gen)
+	}
+}
+
+// TestAnalysisCallGraph pins call-graph edges and their deterministic
+// ordering.
+func TestAnalysisCallGraph(t *testing.T) {
+	pkgs := loadModuleFixtureT(t, "globalmut")
+	a := Analyze(pkgs)
+
+	record := findFunc(t, pkgs, "internal/sim", "", "Record")
+	callees := a.Callees(record)
+	found := false
+	for _, c := range callees {
+		if c.Name() == "Bump" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Callees(Record) = %v, missing Bump", callees)
+	}
+
+	via := findFunc(t, pkgs, "internal/sim", "", "viaSibling")
+	callees = a.Callees(via)
+	if len(callees) != 1 || callees[0].Name() != "Record" {
+		t.Errorf("Callees(viaSibling) = %v, want exactly Record", callees)
+	}
+}

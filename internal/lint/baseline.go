@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baselines let a new rule land strict on new code while known findings
+// are tracked instead of blocking the merge. An entry identifies a
+// finding by (file, rule, message) with an occurrence count — line
+// numbers are deliberately omitted so unrelated edits above a finding
+// do not invalidate the baseline. Two modes:
+//
+//   - check (lintwheels -baseline f): findings matched by the baseline
+//     are suppressed; baseline entries that no longer fire are *stale*
+//     and reported as errors, so the file can only shrink over time.
+//   - write (lintwheels -baseline f -write-baseline): rewrite the file
+//     from the current findings.
+//
+// The checked-in baseline is expected to be empty at merge; the
+// machinery exists so a future rule rollout over a grown module has a
+// ratchet, not so today's findings can be parked.
+
+// baselineSchema versions the file format.
+const baselineSchema = 1
+
+// BaselineEntry tracks one distinct finding shape and how often it fires.
+type BaselineEntry struct {
+	File  string `json:"file"`
+	Rule  string `json:"rule"`
+	Msg   string `json:"msg"`
+	Count int    `json:"count"`
+}
+
+// Baseline is the on-disk document.
+type Baseline struct {
+	Schema  int             `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+type baselineKey struct{ file, rule, msg string }
+
+// NewBaseline folds diagnostics into a canonical baseline: entries
+// sorted by file, rule, message, with per-shape counts.
+func NewBaseline(diags []Diagnostic) Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.Pos.Filename, d.Rule, d.Msg}]++
+	}
+	b := Baseline{Schema: baselineSchema, Entries: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{File: k.file, Rule: k.rule, Msg: k.msg, Count: n})
+	}
+	sort.SliceStable(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Msg < c.Msg
+	})
+	return b
+}
+
+// WriteBaseline writes b to path.
+func WriteBaseline(path string, b Baseline) error {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Schema != baselineSchema {
+		return b, fmt.Errorf("lint: baseline %s: schema %d, want %d", path, b.Schema, baselineSchema)
+	}
+	return b, nil
+}
+
+// ApplyBaseline splits diagnostics into surviving (not covered by the
+// baseline) and reports the stale entries: baseline shapes that matched
+// fewer findings than their count claims. Matching ignores line numbers;
+// when a shape fires more often than baselined, the excess findings
+// survive (deterministically: diags arrive sorted, the first Count
+// matches are absorbed).
+func ApplyBaseline(b Baseline, diags []Diagnostic) (surviving []Diagnostic, stale []BaselineEntry) {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey{e.File, e.Rule, e.Msg}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Pos.Filename, d.Rule, d.Msg}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		surviving = append(surviving, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.File, e.Rule, e.Msg}
+		if budget[k] > 0 {
+			left := e
+			left.Count = budget[k]
+			stale = append(stale, left)
+			budget[k] = 0
+		}
+	}
+	return surviving, stale
+}

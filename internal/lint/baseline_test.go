@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func fakeDiag(file string, line int, rule, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:  token.Position{Filename: file, Line: line, Column: 2},
+		Rule: rule,
+		Msg:  msg,
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from findings, reloads it, and
+// verifies it suppresses exactly those findings.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		fakeDiag("a.go", 3, "nondet", "wall clock"),
+		fakeDiag("a.go", 9, "nondet", "wall clock"),
+		fakeDiag("b.go", 5, "units", "ms vs s"),
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, NewBaseline(diags)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (two a.go findings fold into one shape)", len(b.Entries))
+	}
+	if e := b.Entries[0]; e.File != "a.go" || e.Rule != "nondet" || e.Count != 2 {
+		t.Errorf("first entry = %+v, want a.go/nondet count 2", e)
+	}
+
+	surviving, stale := ApplyBaseline(b, diags)
+	if len(surviving) != 0 {
+		t.Errorf("surviving = %v, want none (baseline covers everything)", surviving)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale = %v, want none (every entry still fires)", stale)
+	}
+}
+
+// TestBaselineLinesDoNotMatter pins the matching contract: entries carry
+// no line numbers, so findings that move (an edit above them) still
+// match their baseline shape.
+func TestBaselineLinesDoNotMatter(t *testing.T) {
+	b := NewBaseline([]Diagnostic{fakeDiag("a.go", 3, "nondet", "wall clock")})
+	moved := []Diagnostic{fakeDiag("a.go", 300, "nondet", "wall clock")}
+	surviving, stale := ApplyBaseline(b, moved)
+	if len(surviving) != 0 || len(stale) != 0 {
+		t.Errorf("moved finding not matched: surviving=%v stale=%v", surviving, stale)
+	}
+}
+
+// TestBaselineStaleAndExcess pins the ratchet in both directions: a
+// baselined shape that stops firing is stale (the file must shrink), and
+// findings beyond an entry's count survive (the file cannot grow
+// silently).
+func TestBaselineStaleAndExcess(t *testing.T) {
+	b := NewBaseline([]Diagnostic{
+		fakeDiag("a.go", 3, "nondet", "wall clock"),
+		fakeDiag("gone.go", 1, "units", "ms vs s"),
+	})
+
+	now := []Diagnostic{
+		fakeDiag("a.go", 3, "nondet", "wall clock"),
+		fakeDiag("a.go", 8, "nondet", "wall clock"), // excess beyond count 1
+	}
+	surviving, stale := ApplyBaseline(b, now)
+	if len(surviving) != 1 || surviving[0].Pos.Line != 8 {
+		t.Errorf("surviving = %v, want exactly the excess finding at line 8", surviving)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" || stale[0].Count != 1 {
+		t.Errorf("stale = %v, want the gone.go entry with count 1", stale)
+	}
+}
+
+// TestBaselineSchemaGuard pins that a future-format file is rejected
+// rather than silently matching nothing.
+func TestBaselineSchemaGuard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, Baseline{Schema: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("schema 99 accepted, want error")
+	}
+}
+
+// TestBaselineFromFixture exercises the write path against real
+// diagnostics end to end: every finding the units fixture produces must
+// be absorbed by a baseline generated from the same run.
+func TestBaselineFromFixture(t *testing.T) {
+	diags := Run(loadFixturePkgsT(t, "units"), []Rule{UnitsRule{}})
+	if len(diags) == 0 {
+		t.Fatal("units fixture produced no diagnostics")
+	}
+	surviving, stale := ApplyBaseline(NewBaseline(diags), diags)
+	if len(surviving) != 0 || len(stale) != 0 {
+		t.Errorf("self-generated baseline leaks: surviving=%v stale=%v", surviving, stale)
+	}
+}

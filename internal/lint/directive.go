@@ -11,18 +11,22 @@ const DirectiveRule = "directive"
 
 // allowPrefix introduces an opt-out comment:
 //
-//	//lint:allow <rule> — reason
+//	//lint:allow <rule>[,<rule>...] — reason
 //
 // The reason is mandatory: an undocumented suppression is worth less than
 // the finding it hides. Both the em dash and a plain "--" separate the
-// rule name from the reason. A directive applies to findings of <rule> on
-// its own line or on the line directly below (for a directive placed on
-// its own line above the flagged statement).
+// rule list from the reason. Several rules may share one directive
+// ("nondet,timetaint") — one line can carry findings from more than one
+// rule, and each needs an explicit opt-out. A directive applies to
+// findings on its own line or on the line directly below (for a
+// directive placed on its own line above the flagged statement); it
+// anchors at the *reported* position, so it also covers interprocedural
+// findings whose root cause lives in another package.
 const allowPrefix = "lint:allow"
 
 // Directive is one parsed //lint:allow comment.
 type Directive struct {
-	Rule   string
+	Rules  []string
 	Reason string
 	// File and Line locate the directive itself.
 	File string
@@ -39,7 +43,29 @@ func (s allowSet) add(d Directive) {
 	if s[d.File][d.Line] == nil {
 		s[d.File][d.Line] = map[string]bool{}
 	}
-	s[d.File][d.Line][d.Rule] = true
+	for _, rule := range d.Rules {
+		s[d.File][d.Line][rule] = true
+	}
+}
+
+// merge folds another package's directives into s (files never collide
+// across packages, so this is a plain union).
+func (s allowSet) merge(other allowSet) {
+	for file, lines := range other {
+		if s[file] == nil {
+			s[file] = lines
+			continue
+		}
+		for line, rules := range lines {
+			if s[file][line] == nil {
+				s[file][line] = rules
+				continue
+			}
+			for rule := range rules {
+				s[file][line][rule] = true
+			}
+		}
+	}
 }
 
 // suppresses reports whether a directive covers the diagnostic: same
@@ -55,15 +81,15 @@ func (s allowSet) suppresses(d Diagnostic) bool {
 // parseAllow splits one comment's text into a directive. text is the raw
 // comment including the "//" marker. ok is false when the comment is not
 // a lint directive at all; errMsg is non-empty when it is one but is
-// malformed (unknown verb, missing rule, missing reason).
-func parseAllow(text string, known map[string]bool) (rule, reason string, ok bool, errMsg string) {
+// malformed (unknown verb, missing rule, unknown rule, missing reason).
+func parseAllow(text string, known map[string]bool) (rules []string, reason string, ok bool, errMsg string) {
 	body, isLine := strings.CutPrefix(text, "//")
 	if !isLine {
-		return "", "", false, "" // block comments never carry directives
+		return nil, "", false, "" // block comments never carry directives
 	}
 	body = strings.TrimSpace(body)
 	if !strings.HasPrefix(body, "lint:") {
-		return "", "", false, ""
+		return nil, "", false, ""
 	}
 	rest, isAllow := strings.CutPrefix(body, allowPrefix)
 	if isAllow && rest != "" && rest[0] != ' ' && rest[0] != '\t' {
@@ -71,15 +97,37 @@ func parseAllow(text string, known map[string]bool) (rule, reason string, ok boo
 	}
 	if !isAllow {
 		verb, _, _ := strings.Cut(strings.TrimPrefix(body, "lint:"), " ")
-		return "", "", true, "unknown lint directive " + strings.TrimSpace("lint:"+verb) + "; only //lint:allow <rule> — reason is recognized"
+		return nil, "", true, "unknown lint directive " + strings.TrimSpace("lint:"+verb) + "; only //lint:allow <rule> — reason is recognized"
 	}
 	rest = strings.TrimSpace(rest)
 	if rest == "" {
-		return "", "", true, "lint:allow needs a rule name: //lint:allow <rule> — reason"
+		return nil, "", true, "lint:allow needs a rule name: //lint:allow <rule> — reason"
 	}
-	rule, rest, _ = strings.Cut(rest, " ")
-	if !known[rule] {
-		return "", "", true, "lint:allow names unknown rule " + rule + " (known: " + strings.Join(RuleNames(), ", ") + ")"
+	// The rule list is comma-separated; keep consuming space-separated
+	// tokens while a trailing comma says the list continues, so both
+	// "a,b" and "a, b" parse.
+	var list string
+	for {
+		var tok string
+		tok, rest, _ = strings.Cut(rest, " ")
+		list += tok
+		rest = strings.TrimSpace(rest)
+		if !strings.HasSuffix(tok, ",") || rest == "" {
+			break
+		}
+	}
+	for _, rule := range strings.Split(list, ",") {
+		rule = strings.TrimSpace(rule)
+		if rule == "" {
+			continue
+		}
+		if !known[rule] {
+			return nil, "", true, "lint:allow names unknown rule " + rule + " (known: " + strings.Join(RuleNames(), ", ") + ")"
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, "", true, "lint:allow needs a rule name: //lint:allow <rule> — reason"
 	}
 	reason = strings.TrimSpace(rest)
 	for _, sep := range []string{"—", "--", "-"} {
@@ -89,9 +137,9 @@ func parseAllow(text string, known map[string]bool) (rule, reason string, ok boo
 		}
 	}
 	if reason == "" {
-		return rule, "", true, "lint:allow " + rule + " needs a reason: //lint:allow " + rule + " — reason"
+		return rules, "", true, "lint:allow " + strings.Join(rules, ",") + " needs a reason: //lint:allow " + strings.Join(rules, ",") + " — reason"
 	}
-	return rule, reason, true, ""
+	return rules, reason, true, ""
 }
 
 // collectDirectives extracts every //lint: comment in the package,
@@ -102,7 +150,7 @@ func collectDirectives(p *Package, known map[string]bool) (allowSet, []Diagnosti
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rule, reason, isDirective, errMsg := parseAllow(c.Text, known)
+				rules, reason, isDirective, errMsg := parseAllow(c.Text, known)
 				pos := p.Fset.Position(c.Pos())
 				if !isDirective {
 					continue
@@ -111,7 +159,7 @@ func collectDirectives(p *Package, known map[string]bool) (allowSet, []Diagnosti
 					malformed = append(malformed, Diagnostic{Pos: pos, Rule: DirectiveRule, Msg: errMsg})
 					continue
 				}
-				allows.add(Directive{Rule: rule, Reason: reason, File: pos.Filename, Line: pos.Line})
+				allows.add(Directive{Rules: rules, Reason: reason, File: pos.Filename, Line: pos.Line})
 			}
 		}
 	}

@@ -18,7 +18,7 @@ func TestParseAllow(t *testing.T) {
 	cases := []struct {
 		name        string
 		text        string
-		wantRule    string
+		wantRules   string // comma-joined
 		wantReason  string
 		isDirective bool
 		errContains string
@@ -28,15 +28,23 @@ func TestParseAllow(t *testing.T) {
 		},
 		{
 			name: "em dash separator", text: "//lint:allow maprange — keys are a fixed enum",
-			isDirective: true, wantRule: "maprange", wantReason: "keys are a fixed enum",
+			isDirective: true, wantRules: "maprange", wantReason: "keys are a fixed enum",
 		},
 		{
 			name: "double dash separator", text: "//lint:allow nondet -- stderr timing only",
-			isDirective: true, wantRule: "nondet", wantReason: "stderr timing only",
+			isDirective: true, wantRules: "nondet", wantReason: "stderr timing only",
 		},
 		{
 			name: "leading spaces after slashes", text: "//   lint:allow sortstable — already a total order",
-			isDirective: true, wantRule: "sortstable", wantReason: "already a total order",
+			isDirective: true, wantRules: "sortstable", wantReason: "already a total order",
+		},
+		{
+			name: "multiple rules one directive", text: "//lint:allow nondet,timetaint — stderr banner timing",
+			isDirective: true, wantRules: "nondet,timetaint", wantReason: "stderr banner timing",
+		},
+		{
+			name: "multiple rules with space after comma", text: "//lint:allow nondet, timetaint — stderr banner timing",
+			isDirective: true, wantRules: "nondet,timetaint", wantReason: "stderr banner timing",
 		},
 		{
 			name: "missing rule name", text: "//lint:allow",
@@ -45,6 +53,10 @@ func TestParseAllow(t *testing.T) {
 		{
 			name: "unknown rule name", text: "//lint:allow nosuchrule — reason",
 			isDirective: true, errContains: "unknown rule nosuchrule",
+		},
+		{
+			name: "unknown rule inside list", text: "//lint:allow nondet,bogus — reason",
+			isDirective: true, errContains: "unknown rule bogus",
 		},
 		{
 			name: "missing reason", text: "//lint:allow maprange",
@@ -65,7 +77,7 @@ func TestParseAllow(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			rule, reason, isDirective, errMsg := parseAllow(tc.text, known)
+			rules, reason, isDirective, errMsg := parseAllow(tc.text, known)
 			if isDirective != tc.isDirective {
 				t.Fatalf("isDirective = %v, want %v", isDirective, tc.isDirective)
 			}
@@ -78,8 +90,8 @@ func TestParseAllow(t *testing.T) {
 			if errMsg != "" {
 				t.Fatalf("unexpected error: %q", errMsg)
 			}
-			if rule != tc.wantRule || reason != tc.wantReason {
-				t.Errorf("parsed (%q, %q), want (%q, %q)", rule, reason, tc.wantRule, tc.wantReason)
+			if got := strings.Join(rules, ","); got != tc.wantRules || reason != tc.wantReason {
+				t.Errorf("parsed (%q, %q), want (%q, %q)", got, reason, tc.wantRules, tc.wantReason)
 			}
 		})
 	}

@@ -7,12 +7,17 @@
 // the invariant into a machine-checked property.
 //
 // The framework loads every package in the module with go/parser and
-// typechecks it with go/types (see load.go), then runs each Rule over
-// each package. Diagnostics are sorted by file and position so the
-// linter's own output is deterministic. Intentional violations are
-// documented at the call site with a directive:
+// typechecks it with go/types (see load.go), then runs two kinds of
+// rules: PackageRules inspect one package at a time, ModuleRules ask
+// transitive questions of the interprocedural engine (see analysis.go) —
+// a module-wide call graph with per-function dataflow summaries computed
+// by fixed-point propagation. Diagnostics are sorted by file and
+// position, and per-package work is embarrassingly parallel with
+// slot-addressed results, so the linter's own output is byte-identical
+// for any worker count. Intentional violations are documented at the
+// call site with a directive:
 //
-//	//lint:allow <rule> — reason
+//	//lint:allow <rule>[,<rule>...] — reason
 //
 // (see directive.go). The cmd/lintwheels binary drives the whole thing
 // and exits non-zero on findings.
@@ -25,6 +30,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, addressed by resolved source position.
@@ -55,15 +61,32 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Rule is one determinism/correctness check.
+// Rule is the common surface of every check: an identifier and a doc
+// line. Concrete rules implement PackageRule, ModuleRule, or both.
 type Rule interface {
 	// Name is the short identifier printed in brackets and accepted by
 	// //lint:allow directives.
 	Name() string
 	// Doc is a one-line description for documentation and -rules output.
 	Doc() string
+}
+
+// PackageRule is a check that inspects one package in isolation.
+type PackageRule interface {
+	Rule
 	// Check inspects one package and reports findings.
 	Check(p *Package, r *Reporter)
+}
+
+// ReportFunc records a finding for a ModuleRule at a position inside p.
+type ReportFunc func(p *Package, pos token.Pos, format string, args ...any)
+
+// ModuleRule is a check that needs the interprocedural engine: the
+// module-wide call graph and dataflow summaries of Analysis.
+type ModuleRule interface {
+	Rule
+	// CheckModule inspects the whole analyzed module.
+	CheckModule(a *Analysis, report ReportFunc)
 }
 
 // Reporter collects diagnostics for one (package, rule) pair.
@@ -90,6 +113,10 @@ func AllRules() []Rule {
 		MapRangeRule{},
 		UncheckedErrRule{},
 		SortStableRule{},
+		TimeTaintRule{},
+		GlobalMutRule{},
+		GoUnsyncRule{},
+		UnitsRule{},
 	}
 }
 
@@ -108,24 +135,91 @@ func RuleNames() []string {
 // and returns the surviving diagnostics sorted by file, position, rule,
 // and message — so linter output is itself deterministic.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	return RunWorkers(pkgs, rules, 1)
+}
+
+// RunWorkers is Run with per-package checks fanned out over workers
+// goroutines. Results are slot-addressed by package index and the
+// interprocedural pass is single-threaded, so the output is byte-
+// identical for every worker count — the same property the linter
+// enforces on the simulation.
+func RunWorkers(pkgs []*Package, rules []Rule, workers int) []Diagnostic {
 	known := map[string]bool{}
+	var pkgRules []PackageRule
+	var modRules []ModuleRule
 	for _, r := range rules {
 		known[r.Name()] = true
+		if pr, ok := r.(PackageRule); ok {
+			pkgRules = append(pkgRules, pr)
+		}
+		if mr, ok := r.(ModuleRule); ok {
+			modRules = append(modRules, mr)
+		}
+	}
+
+	// Per-package pass: directives plus PackageRules, slot-addressed.
+	perPkg := make([][]Diagnostic, len(pkgs))    // rule findings, suppressible
+	malformed := make([][]Diagnostic, len(pkgs)) // broken directives, not suppressible
+	allowed := make([]allowSet, len(pkgs))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := pkgs[i]
+				allowed[i], malformed[i] = collectDirectives(p, known)
+				for _, rule := range pkgRules {
+					rule.Check(p, &Reporter{fset: p.Fset, rule: rule.Name(), out: &perPkg[i]})
+				}
+			}
+		}()
+	}
+	for i := range pkgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	allows := allowSet{}
+	for _, a := range allowed {
+		allows.merge(a)
+	}
+
+	// Module pass: the interprocedural engine, deliberately sequential —
+	// summaries are shared state and the pass is cheap next to typechecking.
+	var raw []Diagnostic
+	for i := range pkgs {
+		raw = append(raw, perPkg[i]...)
+	}
+	if len(modRules) > 0 {
+		a := Analyze(pkgs)
+		for _, rule := range modRules {
+			name := rule.Name()
+			rule.CheckModule(a, func(p *Package, pos token.Pos, format string, args ...any) {
+				raw = append(raw, Diagnostic{
+					Pos:  p.Fset.Position(pos),
+					Rule: name,
+					Msg:  fmt.Sprintf(format, args...),
+				})
+			})
+		}
 	}
 
 	var diags []Diagnostic
-	for _, p := range pkgs {
-		allows, malformed := collectDirectives(p, known)
-		diags = append(diags, malformed...)
-
-		var raw []Diagnostic
-		for _, rule := range rules {
-			rule.Check(p, &Reporter{fset: p.Fset, rule: rule.Name(), out: &raw})
-		}
-		for _, d := range raw {
-			if !allows.suppresses(d) {
-				diags = append(diags, d)
-			}
+	for i := range pkgs {
+		diags = append(diags, malformed[i]...)
+	}
+	for _, d := range raw {
+		if !allows.suppresses(d) {
+			diags = append(diags, d)
 		}
 	}
 	Sort(diags)

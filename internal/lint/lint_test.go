@@ -21,13 +21,49 @@ func loadFixtureT(t *testing.T, name string) *Package {
 	return p
 }
 
+// moduleFixtures names the fixtures that are miniature modules (own
+// go.mod, several packages) rather than single directories. The
+// interprocedural rules need them: taint has to cross a package boundary
+// and hit the real internal/obs exemption paths.
+var moduleFixtures = map[string]bool{
+	"timetaint":    true,
+	"globalmut":    true,
+	"directiveipa": true,
+}
+
+// loadModuleFixtureT loads a mini-module fixture with the real module
+// loader, so Rel values like "internal/obs" trigger the same path-scoped
+// behavior they do in the repository itself.
+func loadModuleFixtureT(t *testing.T, name string) []*Package {
+	t.Helper()
+	pkgs, err := LoadModule(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// loadFixturePkgsT dispatches on fixture shape.
+func loadFixturePkgsT(t *testing.T, name string) []*Package {
+	t.Helper()
+	if moduleFixtures[name] {
+		return loadModuleFixtureT(t, name)
+	}
+	return []*Package{loadFixtureT(t, name)}
+}
+
 // render formats diagnostics with fixture-relative file names, one per
-// line — the exact golden format.
+// line — the exact golden format. Single-dir fixtures carry relative
+// filenames, module fixtures absolute ones; both relativize against dir.
 func render(dir string, diags []Diagnostic) string {
+	abs, _ := filepath.Abs(dir)
 	var b strings.Builder
 	for _, d := range diags {
-		if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil {
-			d.Pos.Filename = filepath.ToSlash(rel)
+		for _, base := range []string{dir, abs} {
+			if rel, err := filepath.Rel(base, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = filepath.ToSlash(rel)
+				break
+			}
 		}
 		b.WriteString(d.String())
 		b.WriteString("\n")
@@ -48,12 +84,17 @@ func TestRuleFixtures(t *testing.T) {
 		{"maprange", []Rule{MapRangeRule{}}},
 		{"uncheckederr", []Rule{UncheckedErrRule{}}},
 		{"sortstable", []Rule{SortStableRule{}}},
+		{"timetaint", []Rule{TimeTaintRule{}}},
+		{"globalmut", []Rule{GlobalMutRule{}}},
+		{"gounsync", []Rule{GoUnsyncRule{}}},
+		{"units", []Rule{UnitsRule{}}},
 		{"directive", AllRules()},
+		{"directiveipa", AllRules()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			dir := filepath.Join("testdata", tc.name)
-			got := render(dir, Run([]*Package{loadFixtureT(t, tc.name)}, tc.rules))
+			got := render(dir, Run(loadFixturePkgsT(t, tc.name), tc.rules))
 			golden := filepath.Join(dir, "expected.txt")
 			if *update {
 				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
@@ -77,8 +118,7 @@ func TestRuleFixtures(t *testing.T) {
 // vacuously green.
 func TestFixturesExerciseEveryRule(t *testing.T) {
 	for _, rule := range AllRules() {
-		p := loadFixtureT(t, rule.Name())
-		diags := Run([]*Package{p}, []Rule{rule})
+		diags := Run(loadFixturePkgsT(t, rule.Name()), []Rule{rule})
 		found := false
 		for _, d := range diags {
 			if d.Rule == rule.Name() {
@@ -201,5 +241,55 @@ func TestLoadModuleSelf(t *testing.T) {
 	}
 	if diags := Run(pkgs, AllRules()); len(diags) != 0 {
 		t.Errorf("internal/lint is not lint-clean: %v", diags)
+	}
+}
+
+// TestRunWorkersByteIdentical pins the linter's own determinism
+// contract: the rendered diagnostics are byte-identical for every worker
+// count, including module rules whose engine runs after the parallel
+// per-package pass.
+func TestRunWorkersByteIdentical(t *testing.T) {
+	var pkgs []*Package
+	pkgs = append(pkgs, loadModuleFixtureT(t, "timetaint")...)
+	pkgs = append(pkgs, loadFixtureT(t, "gounsync"), loadFixtureT(t, "units"))
+
+	want := render(".", RunWorkers(pkgs, AllRules(), 1))
+	if want == "" {
+		t.Fatal("determinism corpus produced no diagnostics")
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		if got := render(".", RunWorkers(pkgs, AllRules(), workers)); got != want {
+			t.Errorf("workers=%d output differs:\n--- got ---\n%s--- want (workers=1) ---\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestDirectiveCrossPackageSuppression pins satellite behavior of the
+// interprocedural rules: a //lint:allow placed at the *call site*
+// suppresses a timetaint finding whose root cause (the wall-clock read)
+// lives in another package, because suppression anchors at the reported
+// position. The control function without a directive must still be
+// flagged, and a one-line multi-rule directive must quiet exactly the
+// rules it names.
+func TestDirectiveCrossPackageSuppression(t *testing.T) {
+	pkgs := loadModuleFixtureT(t, "directiveipa")
+	diags := Run(pkgs, AllRules())
+
+	byRule := map[string]int{}
+	for _, d := range diags {
+		byRule[d.Rule]++
+	}
+	// Four timetaint sites exist (suppressed, unsuppressed, multi,
+	// partial); the directives must leave exactly two: unsuppressed's and
+	// partial's.
+	if byRule["timetaint"] != 2 {
+		t.Errorf("timetaint findings = %d, want 2 (directives must suppress the other two): %v", byRule["timetaint"], diags)
+	}
+	// Both direct time.Now calls carry an allow naming nondet.
+	if byRule["nondet"] != 0 {
+		t.Errorf("nondet findings = %d, want 0 (both sites carry allows): %v", byRule["nondet"], diags)
+	}
+	if byRule[DirectiveRule] != 0 {
+		t.Errorf("malformed directives in fixture: %v", diags)
 	}
 }

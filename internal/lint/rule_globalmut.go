@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GlobalMutRule flags mutation of package-level state from simulation
+// code. Package-level variables are process-wide: under concurrent
+// operator lanes and fleet workers a write from one run is visible to
+// (and races with) every other, so run output stops being a pure
+// function of (Config, seed). Declarations and init-function writes are
+// initialization, not mutation, and stay legal; lookup tables that are
+// only ever read stay legal. The interprocedural summaries close the
+// exemption hole: a call from simulation code into an exempt package
+// (internal/obs) whose callee transitively writes package-level state is
+// flagged at the call site, because the write site itself is outside the
+// rule's jurisdiction.
+type GlobalMutRule struct{}
+
+func (GlobalMutRule) Name() string { return "globalmut" }
+
+func (GlobalMutRule) Doc() string {
+	return "flag writes to package-level mutable state from simulation code, directly or through exempt packages"
+}
+
+func (GlobalMutRule) CheckModule(a *Analysis, report ReportFunc) {
+	for _, fi := range a.funcs {
+		if !underSim(fi.pkg.Rel) || fi.pkg.Rel == obsPackage {
+			continue
+		}
+		if fi.decl.Recv == nil && fi.decl.Name.Name == "init" {
+			continue
+		}
+		checkGlobalWrites(a, fi, report)
+	}
+}
+
+// checkGlobalWrites walks one simulation function and reports direct
+// package-level writes plus calls into exempt code that mutates globals.
+func checkGlobalWrites(a *Analysis, fi *funcInfo, report ReportFunc) {
+	p := fi.pkg
+	ast.Inspect(fi.decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v := pkgLevelVar(p.Info, lhs); v != nil {
+					report(p, lhs.Pos(), "write to package-level %s from simulation code; package state outlives the run and races across lanes — hold it in a per-run struct", v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := pkgLevelVar(p.Info, n.X); v != nil {
+				report(p, n.X.Pos(), "write to package-level %s from simulation code; package state outlives the run and races across lanes — hold it in a per-run struct", v.Name())
+			}
+		case *ast.CallExpr:
+			cf := origin(calleeFunc(p.Info, n))
+			if cf == nil {
+				return true
+			}
+			ci := a.byObj[cf]
+			if ci == nil || len(ci.writesGlobals) == 0 {
+				return true
+			}
+			// Only calls whose write site the rule cannot see (exempt or
+			// out-of-scope packages) are reported here; a sim-package
+			// callee is flagged once, at its own write site.
+			if underSim(ci.pkg.Rel) && ci.pkg.Rel != obsPackage {
+				return true
+			}
+			names := ""
+			for _, v := range sortedVars(ci.writesGlobals) {
+				if names != "" {
+					names += ", "
+				}
+				names += v.Name()
+			}
+			report(p, n.Pos(), "call to %s mutates package-level state (%s) from simulation code; the write site is exempt from this rule, so the mutation is invisible at the caller", cf.Name(), names)
+		}
+		return true
+	})
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// UnitsRule is dimensional sanity for KPI math: identifiers in this
+// repository carry their unit as a CamelCase suffix (rttMs, budgetSec,
+// throughputMbps, rsrpDbm), and adding or comparing two values whose
+// suffixes name different units of the same dimension (Ms vs Sec, Mbps
+// vs Bps, Dbm vs Db) is almost always a missing conversion — the kind of
+// silent scale mix that corrupts a correlation table without failing any
+// test. Multiplication and division are exempt: they are how conversions
+// are written. The check is lexical by design; it cannot prove units
+// right, only catch declared ones colliding.
+type UnitsRule struct{}
+
+func (UnitsRule) Name() string { return "units" }
+
+func (UnitsRule) Doc() string {
+	return "flag +,-,comparison, and assignment mixing identifiers with conflicting unit suffixes (Ms/Sec, Mbps/Bps, Dbm/Db)"
+}
+
+// unitSuffixes maps a CamelCase identifier suffix to its (dimension,
+// canonical unit). Suffixes within one dimension conflict unless they
+// normalize to the same unit; suffixes of different dimensions never
+// conflict (that mix is a type error a lexical rule cannot adjudicate).
+var unitSuffixes = map[string][2]string{
+	"Ns": {"time", "ns"}, "Nanos": {"time", "ns"},
+	"Us": {"time", "us"}, "Micros": {"time", "us"},
+	"Ms": {"time", "ms"}, "Msec": {"time", "ms"}, "Millis": {"time", "ms"},
+	"Sec": {"time", "s"}, "Secs": {"time", "s"}, "Seconds": {"time", "s"},
+	"Bps": {"rate", "bps"}, "Kbps": {"rate", "kbps"},
+	"Mbps": {"rate", "mbps"}, "Gbps": {"rate", "gbps"},
+	"Db": {"power", "db"}, "Dbm": {"power", "dbm"},
+	"Km": {"distance", "km"}, "Meters": {"distance", "m"}, "Mi": {"distance", "mi"},
+	"Hz": {"freq", "hz"}, "Khz": {"freq", "khz"},
+	"Mhz": {"freq", "mhz"}, "Ghz": {"freq", "ghz"},
+}
+
+// mixableOps are the operators where operands must share a unit.
+// * and / are exempt — they are how unit conversions are spelled.
+var mixableOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func (UnitsRule) Check(p *Package, r *Reporter) {
+	if !underSim(p.Rel) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !mixableOps[n.Op] {
+					return true
+				}
+				reportUnitMix(r, n.OpPos, n.Op.String(), n.X, n.Y)
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN && n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						reportUnitMix(r, n.TokPos, n.Tok.String(), lhs, n.Rhs[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportUnitMix flags one operand pair whose unit suffixes conflict.
+func reportUnitMix(r *Reporter, pos token.Pos, op string, a, b ast.Expr) {
+	nameA, dimA, unitA := operandUnit(a)
+	nameB, dimB, unitB := operandUnit(b)
+	if dimA == "" || dimA != dimB || unitA == unitB {
+		return
+	}
+	r.Reportf(pos, "%q mixes %s (%s) with %s (%s); convert to one %s unit before combining", op, nameA, unitA, nameB, unitB, dimA)
+}
+
+// operandUnit extracts the unit carried by an operand's name: the
+// identifier itself, a selected field, or the called function's name.
+func operandUnit(e ast.Expr) (name, dim, unit string) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(x.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+	}
+	if name == "" {
+		return "", "", ""
+	}
+	dim, unit = unitOf(name)
+	return name, dim, unit
+}
+
+// unitOf matches the longest known CamelCase unit suffix of name. The
+// character before the suffix must not be lowercase-continuing into it:
+// the suffix has to be its own word, so "elapsedMs" carries ms but
+// "plasma" does not carry "Ms".
+func unitOf(name string) (dim, unit string) {
+	best := ""
+	for suf := range unitSuffixes {
+		if len(suf) <= len(best) || !strings.HasSuffix(name, suf) {
+			continue
+		}
+		best = suf
+	}
+	if best == "" {
+		return "", ""
+	}
+	du := unitSuffixes[best]
+	return du[0], du[1]
+}

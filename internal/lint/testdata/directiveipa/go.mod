@@ -1,0 +1,3 @@
+module fixture.example/directiveipa
+
+go 1.22

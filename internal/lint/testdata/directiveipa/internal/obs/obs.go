@@ -1,0 +1,14 @@
+// Package obs reads the wall clock; ElapsedMs leaks it by returning a
+// derived value, which is the cross-package cause the sim-side
+// directives must suppress at the *reported* position.
+package obs
+
+import "time"
+
+// begin is stamped once at startup.
+var begin time.Time
+
+func init() { begin = time.Now() }
+
+// ElapsedMs transitively returns a time.Now-derived value.
+func ElapsedMs() float64 { return float64(time.Since(begin).Milliseconds()) }

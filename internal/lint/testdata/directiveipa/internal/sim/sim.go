@@ -1,0 +1,32 @@
+// Package sim exercises the directive machinery against
+// interprocedural findings: the cause lives in internal/obs, the
+// finding (and therefore the suppression anchor) is the call site here.
+package sim
+
+import (
+	"time"
+
+	"fixture.example/directiveipa/internal/obs"
+)
+
+// suppressed pins that //lint:allow quiets a finding whose cause is in
+// another package: the directive anchors at the reported call site.
+func suppressed() float64 {
+	//lint:allow timetaint — fixture: the cause is a package away, the anchor is here
+	return obs.ElapsedMs()
+}
+
+// unsuppressed is the control: same call, no directive, must be flagged.
+func unsuppressed() float64 {
+	return obs.ElapsedMs() // want finding: timetaint
+}
+
+// multi pins one directive quieting two rules on one line.
+func multi() float64 {
+	return obs.ElapsedMs() + float64(time.Now().Unix()) //lint:allow timetaint,nondet — fixture: two rules, one directive
+}
+
+// partial allows only nondet, so the timetaint finding must survive.
+func partial() float64 {
+	return obs.ElapsedMs() + float64(time.Now().Unix()) //lint:allow nondet — fixture: timetaint must survive
+}

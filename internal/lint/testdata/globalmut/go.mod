@@ -1,0 +1,3 @@
+module fixture.example/globalmut
+
+go 1.22

@@ -1,0 +1,13 @@
+// Package obs is exempt from globalmut at its own write sites — which
+// is exactly why calls into it that mutate package state must be
+// flagged back at the caller.
+package obs
+
+// hits is package-level observability state.
+var hits int64
+
+// Bump mutates hits; the write site is exempt, the call site is not.
+func Bump() { hits++ }
+
+// Snapshot only reads — calling it from sim is clean.
+func Snapshot() int64 { return hits }

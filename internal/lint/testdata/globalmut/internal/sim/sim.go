@@ -1,0 +1,41 @@
+// Package sim holds the violations and the legal patterns side by side.
+package sim
+
+import "fixture.example/globalmut/internal/obs"
+
+// lookup is a read-only table: the declaration and init writes below are
+// initialization, not mutation.
+var lookup = map[string]int{"lte": 4, "nr": 5}
+
+// runCount is mutable package state the violations below write.
+var runCount int
+
+func init() { runCount = 0 } // clean: init writes are initialization
+
+// Record is the violation pile.
+func Record(tech string) {
+	runCount++       // want finding: direct package-level write
+	lookup[tech] = 9 // want finding: map store into package-level table
+	obs.Bump()       // want finding: exempt callee mutates package state
+}
+
+// Gen returns table data without mutating anything — clean.
+func Gen(tech string) int { return lookup[tech] }
+
+// bumpLocal mutates only locals — clean.
+func bumpLocal() int {
+	n := 0
+	n++
+	return n
+}
+
+// viaSibling calls a sim-package mutator: that is flagged once, at
+// Record's own write sites, not re-flagged here.
+func viaSibling() { Record("lte") }
+
+// Peek reads through the exempt package — clean, Snapshot writes
+// nothing.
+func Peek() int64 {
+	_ = bumpLocal()
+	return obs.Snapshot()
+}

@@ -1,0 +1,90 @@
+// Fixture for the gounsync rule: goroutines sharing captured or
+// package-level state, next to every sanctioned mediation pattern.
+package gounsyncfix
+
+import "sync"
+
+// total gives `go bumpTotal()` a package-level write to find.
+var total int
+
+func bumpTotal() { total++ }
+
+// scalarRace reads n after a goroutine writes it — the classic race.
+func scalarRace() int {
+	n := 0
+	go func() { n = 1 }() // want finding: writes captured n, used after
+	return n
+}
+
+// writeAfterSpawn mutates msg after the goroutine captured it.
+func writeAfterSpawn() {
+	msg := "before"
+	go func() { println(msg) }() // want finding: msg written after spawn
+	msg = "after"
+	_ = msg
+}
+
+// mapRace stores into a captured map from the goroutine; map stores are
+// not slot-addressed.
+func mapRace(done chan struct{}) int {
+	m := map[string]int{}
+	go func() { m["k"] = 1; close(done) }() // want finding: map store
+	<-done
+	return m["k"]
+}
+
+// namedSpawn spawns a function whose summary says it mutates globals.
+func namedSpawn() {
+	go bumpTotal() // want finding: callee writes package-level total
+}
+
+// slotAddressed is the repository's sanctioned pattern: each goroutine
+// owns one slice index, joined by a WaitGroup — clean.
+func slotAddressed(vals []int) []int {
+	out := make([]int, len(vals))
+	var wg sync.WaitGroup
+	for i, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = v * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// channelMediated shares nothing but channels — clean.
+func channelMediated(jobs chan int) []int {
+	results := make(chan int)
+	go func() {
+		for j := range jobs {
+			results <- j * 2
+		}
+		close(results)
+	}()
+	var out []int
+	for r := range results {
+		out = append(out, r)
+	}
+	return out
+}
+
+// fireAndForget writes a capture nobody touches after the spawn — clean
+// under the rule's use-after-spawn requirement.
+func fireAndForget() {
+	count := 0
+	go func() { count++ }()
+}
+
+// buildThenSpawn writes before the spawn only: those writes are
+// sequenced before the goroutine exists — clean.
+func buildThenSpawn(done chan struct{}) {
+	cfg := "a"
+	cfg = cfg + "b"
+	go func() {
+		println(cfg)
+		close(done)
+	}()
+	<-done
+}

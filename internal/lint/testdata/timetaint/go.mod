@@ -1,0 +1,3 @@
+module fixture.example/timetaint
+
+go 1.22

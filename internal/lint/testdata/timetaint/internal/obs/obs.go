@@ -1,0 +1,38 @@
+// Package obs is the fixture's stand-in for the real observability side
+// channel: it reads the wall clock and exports both clean counters and
+// clock-derived values, so the taint rule has something to separate.
+package obs
+
+import "time"
+
+// Recorder times a run. start is stamped at construction, so the keyed
+// literal in New taints the field module-wide.
+type Recorder struct {
+	start time.Time
+	ticks int64
+
+	// LastMs is stamped with a wall-clock elapsed reading by Stamp.
+	LastMs float64
+}
+
+// New starts the clock. The returned recorder is not itself a
+// wall-clock reading, so constructing one from sim code is clean.
+func New() *Recorder { return &Recorder{start: time.Now()} }
+
+// sinceStart is the unexported middle hop of the taint chain.
+func (r *Recorder) sinceStart() time.Duration { return time.Since(r.start) }
+
+// Elapsed transitively returns a time.Now-derived value: the escape the
+// rule must catch two hops away.
+func (r *Recorder) Elapsed() time.Duration { return r.sinceStart() }
+
+// Stamp writes wall time into an exported field; reading LastMs back
+// from sim code is the field-shaped escape.
+func (r *Recorder) Stamp() { r.LastMs = float64(r.sinceStart().Milliseconds()) }
+
+// Add is a pure counter write: it consumes nothing clock-derived and
+// returns nothing. Sim code may call it freely.
+func (r *Recorder) Add(n int64) { r.ticks += n }
+
+// Ticks returns plain counter state — clean.
+func (r *Recorder) Ticks() int64 { return r.ticks }

@@ -1,0 +1,27 @@
+// Package sim is the fixture's simulation side: it may write into obs
+// but must never read anything wall-clock-derived back out of it.
+package sim
+
+import "fixture.example/timetaint/internal/obs"
+
+// Lane mirrors a per-run simulation struct holding an obs recorder.
+type Lane struct {
+	rec    *obs.Recorder
+	lastMs float64
+}
+
+// NewLane wires the recorder in; constructing one is clean.
+func NewLane() *Lane { return &Lane{rec: obs.New()} }
+
+// Tick exercises both sides of the contract.
+func (l *Lane) Tick() {
+	l.rec.Add(1) // clean: pure counter write into obs
+
+	d := l.rec.Elapsed() // want finding: transitive time.Since escape
+	l.lastMs = float64(d.Milliseconds())
+
+	_ = l.rec.LastMs // want finding: reading a wall-clock-stamped field
+
+	n := l.rec.Ticks() // clean: plain counter state coming back
+	_ = n
+}

@@ -1,0 +1,42 @@
+// Fixture for the units rule: KPI arithmetic mixing unit suffixes.
+package unitsfix
+
+// kpi mirrors the repository's measurement rows: unit-suffixed fields.
+type kpi struct {
+	rttMs       float64
+	budgetSec   float64
+	goodputMbps float64
+	linkBps     float64
+	rsrpDbm     float64
+	noiseDb     float64
+}
+
+// limitSec supplies a unit through a call name.
+func limitSec() float64 { return 1.5 }
+
+func compare(k kpi, jitterMs float64) bool {
+	if k.rttMs > k.budgetSec { // want finding: ms vs s comparison
+		return true
+	}
+	sum := k.rttMs + jitterMs // clean: both sides are milliseconds
+	_ = sum
+	return jitterMs < limitSec() // want finding: ms vs s via call name
+}
+
+func add(k kpi) float64 {
+	headroom := k.goodputMbps - k.linkBps // want finding: mbps vs bps
+	margin := k.rsrpDbm - k.noiseDb       // want finding: dbm vs db
+	return headroom + margin              // clean: suffix-free locals
+}
+
+func assigns(aMs, bSec float64) float64 {
+	aMs = bSec  // want finding: assignment crosses ms/s
+	aMs += bSec // want finding: compound assignment too
+	return aMs
+}
+
+func conversions(k kpi) float64 {
+	sec := k.rttMs / 1000         // clean: division is a conversion
+	msAgain := k.budgetSec * 1000 // clean: multiplication too
+	return sec + msAgain          // clean: locals carry no suffix
+}
