@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke ci
+.PHONY: build test race vet bench bench-manifest lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke crowd-smoke ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ vet:
 # benches live in bench_test.go and run with `go test -bench=.`.
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkCampaignRun -benchtime=1x .
+
+# bench-manifest runs the headline benchmarks (campaign, fleet, crowd
+# step) and writes their ns/op and allocs/op to BENCH_0006.json — the
+# machine-readable record CI uploads as an artifact.
+bench-manifest:
+	$(GO) run ./cmd/benchmanifest -o BENCH_0006.json
 
 # lint runs the in-repo determinism & correctness linter (internal/lint)
 # over every package; findings fail the build. Suppress intentional uses
@@ -58,6 +64,13 @@ smoke:
 fleet-smoke:
 	$(GO) run ./cmd/fleetrun -scenario testdata/fleet-smoke.json -workers 2 -out fleet-out
 
+# crowd-smoke drives a 10⁴-UE metro-scale crowd through the real
+# drivetest CLI path — registry construction, event wheel, demand-driven
+# load, and in-run crowd measurements — over a short route.
+# crowd-manifest.json (events, attached, measurements) is the CI artifact.
+crowd-smoke:
+	$(GO) run ./cmd/drivetest -seed 1 -limit-km 10 -crowd 10000 -crowd-samples 4 -load-model demand -skip-apps -out crowd-dataset.json -metrics crowd-manifest.json
+
 # lint-sarif runs before the lint gates so the artifact exists for CI
 # upload even when lint fails the build.
-ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke
+ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke crowd-smoke

@@ -66,6 +66,17 @@ type Config struct {
 	// Workers caps how many operator lanes are simulated concurrently;
 	// 0 means GOMAXPROCS. Any value produces byte-identical output.
 	Workers int `json:"workers"`
+	// CrowdSize attaches this many background UEs per operator — the
+	// metro-scale crowd. 0 keeps the classic six-handset campaign.
+	CrowdSize int `json:"crowd_size"`
+	// CrowdSamples is how many crowd UEs run speedtest measurements
+	// during the campaign; 0 defaults to 120 when a crowd is enabled.
+	CrowdSamples int `json:"crowd_samples"`
+	// LoadModel selects the sector-load backend the handsets see:
+	// "" or LoadModelStandin keeps the per-UE stand-in (byte-identical to
+	// the historical campaign); LoadModelDemand couples handsets to the
+	// crowd registry's aggregate demand.
+	LoadModel string `json:"load_model"`
 	// Obs, when non-nil, receives metrics, phase timings, and progress
 	// from the run (see internal/obs). It is a write-only side channel:
 	// enabling it never changes the dataset — the simulation is
@@ -86,6 +97,30 @@ func (c Config) stamp() {
 	c.Obs.SetLabel("config_sha256", c.fingerprint())
 }
 
+// Load model backends for Config.LoadModel.
+const (
+	LoadModelStandin = core.LoadModelStandin
+	LoadModelDemand  = core.LoadModelDemand
+)
+
+// validate rejects configs outside the supported envelope before any
+// simulation state is built, so fleet sweeps fail fast with a clear error
+// instead of deep inside a lane.
+func (c Config) validate() error {
+	switch c.LoadModel {
+	case "", LoadModelStandin, LoadModelDemand:
+	default:
+		return fmt.Errorf("cellwheels: unknown load_model %q (want %q or %q)", c.LoadModel, LoadModelStandin, LoadModelDemand)
+	}
+	if c.CrowdSize < 0 {
+		return fmt.Errorf("cellwheels: crowd_size must be >= 0, got %d", c.CrowdSize)
+	}
+	if c.CrowdSamples < 0 {
+		return fmt.Errorf("cellwheels: crowd_samples must be >= 0, got %d", c.CrowdSamples)
+	}
+	return nil
+}
+
 func (c Config) internal() core.Config {
 	cfg := core.Config{
 		Seed:          c.Seed,
@@ -95,6 +130,9 @@ func (c Config) internal() core.Config {
 		DisableEdge:   c.DisableEdge,
 		DisablePolicy: c.DisablePolicy,
 		Workers:       c.Workers,
+		CrowdSize:     c.CrowdSize,
+		CrowdSamples:  c.CrowdSamples,
+		LoadModel:     c.LoadModel,
 		Obs:           c.Obs,
 	}
 	if c.LimitKm > 0 {
@@ -120,6 +158,9 @@ type Study struct {
 
 // Run executes a campaign and consolidates its logs.
 func Run(cfg Config) (*Study, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg.stamp()
 	c := core.NewCampaign(cfg.internal())
 	db, err := c.RunAndMerge()
@@ -135,6 +176,9 @@ func Run(cfg Config) (*Study, error) {
 // written before log synchronization, so the archive is exactly what the
 // instruments produced.
 func RunArchivingRaw(cfg Config, dir string) (*Study, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cellwheels: %w", err)
 	}

@@ -1,0 +1,163 @@
+// Command benchmanifest runs the repo's headline benchmarks — the
+// campaign engine, the fleet engine, and the crowd step — and writes
+// their figures to a machine-readable JSON manifest (BENCH_0006.json in
+// CI). The manifest is what lets a reviewer compare engine cost across
+// commits without rerunning anything: ns/op and allocs/op per benchmark,
+// stamped with the Go version that produced them.
+//
+// Usage:
+//
+//	benchmanifest [-o BENCH_0006.json] [-benchtime 1x] [-bench regexp]
+//
+// The output is deterministic for a given bench run: entries are sorted
+// by name and carry no timestamps.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Manifest is the file benchmanifest writes.
+type Manifest struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"go_version"`
+	Benchtime string  `json:"benchtime"`
+	Entries   []Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's figures.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// schema versions the manifest format.
+const schema = "cellwheels/bench/v1"
+
+// defaultBench selects the three headline benchmarks: whole-campaign
+// cost, fleet orchestration cost, and the crowd engine's idle step.
+const defaultBench = "^(BenchmarkCampaignRun|BenchmarkFleetRun|BenchmarkCrowdStep)$"
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_0006.json", "output manifest path")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		bench     = flag.String("bench", defaultBench, "go test -bench regexp")
+	)
+	flag.Parse()
+
+	raw, err := runBenchmarks(*bench, *benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := parseBench(raw)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched %q — nothing to write", *bench))
+	}
+	m := Manifest{Schema: schema, GoVersion: runtime.Version(), Benchtime: *benchtime, Entries: entries}
+	if err := writeManifest(*out, m); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchmanifest: %d benchmarks written to %s\n", len(entries), *out)
+}
+
+// runBenchmarks shells out to the go tool; the command's stdout is the
+// bench output to parse, stderr passes through for diagnostics.
+func runBenchmarks(bench, benchtime string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run=^$", "-bench="+bench,
+		"-benchtime="+benchtime, "-benchmem", "./...")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return stdout.Bytes(), nil
+}
+
+// benchLine matches one `go test -bench` result row:
+//
+//	BenchmarkCrowdStep/ues=10000-8   20   11656 ns/op   3 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// cpuSuffix is the trailing -<GOMAXPROCS> the test binary appends; it is
+// stripped so manifests from machines with different core counts diff
+// cleanly on the benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts the result rows, sorted by name.
+func parseBench(out []byte) ([]Entry, error) {
+	var entries []Entry
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: cpuSuffix.ReplaceAllString(m[1], "")}
+		var err error
+		if e.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("parse %q: %w", line, err)
+		}
+		if e.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("parse %q: %w", line, err)
+		}
+		if m[4] != "" {
+			if e.BytesPerOp, err = strconv.ParseInt(m[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("parse %q: %w", line, err)
+			}
+		}
+		if m[5] != "" {
+			if e.AllocsPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+				return nil, fmt.Errorf("parse %q: %w", line, err)
+			}
+		}
+		entries = append(entries, e)
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+// writeManifest stages the JSON in a temp file and renames it into place,
+// the same atomic pattern the dataset and run-manifest writers use.
+func writeManifest(path string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchmanifest:", err)
+	os.Exit(1)
+}

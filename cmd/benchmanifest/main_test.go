@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: github.com/nuwins/cellwheels
+cpu: whatever
+BenchmarkFleetRun-8    	       1	1934127716 ns/op	355441688 B/op	 5894269 allocs/op
+BenchmarkCampaignRun-8 	       2	 593717264 ns/op
+ok  	github.com/nuwins/cellwheels	4.5s
+pkg: github.com/nuwins/cellwheels/internal/ue
+BenchmarkCrowdStep/ues=10000-8  	      20	     11656 ns/op	       3 B/op	       0 allocs/op
+PASS
+`
+	entries, err := parseBench([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %+v", len(entries), entries)
+	}
+	// Sorted by name, cpu suffix stripped.
+	if entries[0].Name != "BenchmarkCampaignRun" ||
+		entries[1].Name != "BenchmarkCrowdStep/ues=10000" ||
+		entries[2].Name != "BenchmarkFleetRun" {
+		t.Fatalf("wrong names/order: %+v", entries)
+	}
+	if entries[1].Iterations != 20 || entries[1].NsPerOp != 11656 || entries[1].BytesPerOp != 3 || entries[1].AllocsPerOp != 0 {
+		t.Fatalf("crowd entry mangled: %+v", entries[1])
+	}
+	if entries[0].NsPerOp != 593717264 || entries[0].BytesPerOp != 0 {
+		t.Fatalf("campaign entry (no -benchmem columns) mangled: %+v", entries[0])
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	entries, err := parseBench([]byte("PASS\nok \tnothing\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("parsed %d entries from benchless output", len(entries))
+	}
+}
+
+func TestWriteManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := Manifest{Schema: schema, GoVersion: "go0.0", Benchtime: "1x",
+		Entries: []Entry{{Name: "BenchmarkX", Iterations: 3, NsPerOp: 1.5}}}
+	if err := writeManifest(path, want); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != schema || len(got.Entries) != 1 || got.Entries[0].Name != "BenchmarkX" {
+		t.Fatalf("round trip mangled manifest: %+v", got)
+	}
+}

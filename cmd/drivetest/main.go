@@ -6,13 +6,17 @@
 //	drivetest -seed 42 -out dataset.json [-limit-km 500] [-csv dir]
 //	          [-skip-apps] [-skip-static] [-skip-passive]
 //	          [-disable-edge] [-disable-policy] [-workers N]
+//	          [-crowd N] [-crowd-samples M] [-load-model standin|demand]
 //	          [-progress] [-metrics manifest.json] [-pprof cpu.out]
 //
 // The full 5,711 km campaign takes on the order of a minute; use
-// -limit-km for quick runs. -progress prints a periodic status line to
-// stderr, -metrics writes a machine-readable run manifest, and -pprof
-// captures a CPU profile of the whole run. All three are side channels:
-// the dataset is byte-identical with or without them.
+// -limit-km for quick runs. -crowd attaches N background UEs per operator
+// (the metro-scale crowd); -load-model demand makes the handsets see the
+// crowd's aggregate sector demand instead of the per-UE stand-in.
+// -progress prints a periodic status line to stderr, -metrics writes a
+// machine-readable run manifest, and -pprof captures a CPU profile of the
+// whole run. All three are side channels: the dataset is byte-identical
+// with or without them.
 package main
 
 import (
@@ -41,6 +45,9 @@ func main() {
 		disableEdge   = flag.Bool("disable-edge", false, "remove Wavelength edge servers (ablation)")
 		disablePolicy = flag.Bool("disable-policy", false, "always serve the best technology (ablation)")
 		workers       = flag.Int("workers", 0, "concurrent operator lanes (0 = GOMAXPROCS); output is identical for any value")
+		crowd         = flag.Int("crowd", 0, "background UEs per operator (0 = no crowd)")
+		crowdSamples  = flag.Int("crowd-samples", 0, "crowd UEs running speedtest measurements (0 = 120 when a crowd is enabled)")
+		loadModel     = flag.String("load-model", "", "sector-load backend the handsets see: standin (default) or demand (crowd-driven)")
 		progress      = flag.Bool("progress", false, "print a periodic progress line (odometer, tick rate, ETA) to stderr")
 		metricsPath   = flag.String("metrics", "", "write a machine-readable run manifest (JSON) to this path")
 		pprofPath     = flag.String("pprof", "", "write a CPU profile of the run to this path")
@@ -80,6 +87,9 @@ func main() {
 		DisableEdge:   *disableEdge,
 		DisablePolicy: *disablePolicy,
 		Workers:       *workers,
+		CrowdSize:     *crowd,
+		CrowdSamples:  *crowdSamples,
+		LoadModel:     *loadModel,
 		Obs:           rec,
 	}
 	var study *cellwheels.Study

@@ -28,6 +28,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "campaign seed (fleet master seed with -replicates)")
 		limitKm    = flag.Float64("limit-km", 0, "truncate the drive (0 = full route)")
 		crowd      = flag.Int("crowd", 0, "also simulate this many Ookla-style static crowd samples per carrier (measured Table 3)")
+		crowdSize  = flag.Int("crowd-size", 0, "attach this many background UEs per carrier; the measured Table 3 then comes from in-run crowd flows")
+		loadModel  = flag.String("load-model", "", "sector-load backend the handsets see: standin (default) or demand (crowd-driven)")
 		replicates = flag.Int("replicates", 1, "run this many fleet replicates and print headline tables as median [p25–p75]")
 		workers    = flag.Int("workers", 0, "concurrent replicate runs with -replicates (0 = GOMAXPROCS); output is identical for any value")
 	)
@@ -59,7 +61,13 @@ func main() {
 		return
 	}
 
-	study, err := cellwheels.Run(cellwheels.Config{Seed: *seed, LimitKm: *limitKm})
+	study, err := cellwheels.Run(cellwheels.Config{
+		Seed:         *seed,
+		LimitKm:      *limitKm,
+		CrowdSize:    *crowdSize,
+		CrowdSamples: *crowd,
+		LoadModel:    *loadModel,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wheelsreport:", err)
 		os.Exit(1)
@@ -69,7 +77,7 @@ func main() {
 	fmt.Print(study.Summary())
 	fmt.Println()
 	fmt.Print(study.Report())
-	if *crowd > 0 {
+	if *crowd > 0 || *crowdSize > 0 {
 		fmt.Println(study.MeasuredOokla(*crowd))
 	}
 }

@@ -31,7 +31,9 @@ import (
 	"github.com/nuwins/cellwheels/internal/radio"
 	"github.com/nuwins/cellwheels/internal/ran"
 	"github.com/nuwins/cellwheels/internal/simrand"
+	"github.com/nuwins/cellwheels/internal/speedtest"
 	"github.com/nuwins/cellwheels/internal/transport"
+	"github.com/nuwins/cellwheels/internal/ue"
 	"github.com/nuwins/cellwheels/internal/unit"
 	"github.com/nuwins/cellwheels/internal/xcal"
 )
@@ -88,6 +90,22 @@ type Config struct {
 	// Transport tunes the TCP path model (bufferbloat ablation).
 	Transport transport.Options
 
+	// CrowdSize attaches this many background UEs per operator — the
+	// metro-scale crowd (internal/ue). Zero runs the classic six-handset
+	// campaign with no registry at all.
+	CrowdSize int
+	// CrowdSamples is how many of the crowd's UEs run speedtest
+	// measurements during the campaign (Table 3's measured column). Zero
+	// defaults to 120 when a crowd is enabled.
+	CrowdSamples int
+	// LoadModel selects the sector-load backend the handsets see:
+	// LoadModelStandin (or empty) keeps the per-UE OU stand-in,
+	// byte-identical to the historical campaign; LoadModelDemand couples
+	// the handsets to the crowd registry's per-cell aggregate demand.
+	// The crowd's own measurement flows always measure against the
+	// registry, whatever the handsets use.
+	LoadModel string
+
 	// Operators to measure; nil means all three.
 	Operators []radio.Operator
 
@@ -118,6 +136,22 @@ func (c *Config) applyDefaults() {
 	if len(c.Operators) == 0 {
 		c.Operators = radio.Operators()
 	}
+	if c.CrowdSize > 0 && c.CrowdSamples == 0 {
+		c.CrowdSamples = 120
+	}
+}
+
+// Load model backends for Config.LoadModel.
+const (
+	LoadModelStandin = "standin"
+	LoadModelDemand  = "demand"
+)
+
+// crowdEnabled reports whether the campaign builds per-lane registries:
+// either a crowd population was requested or the demand backend is on
+// (an empty registry still answers CellLoad with the base load).
+func (c Config) crowdEnabled() bool {
+	return c.CrowdSize > 0 || c.LoadModel == LoadModelDemand
 }
 
 // testSpec is one rotation slot.
@@ -237,9 +271,40 @@ func NewCampaign(cfg Config) *Campaign {
 	for _, op := range cfg.Operators {
 		m := deploy.NewMap(op, route, rng)
 		c.maps[op] = m
+
+		// The crowd registry and the demand-driven load backend. Each
+		// lane owns its registry, so worker-count byte-identity needs no
+		// cross-lane coordination; its seed is derived positionally from
+		// (campaign seed, operator), RunSeed-style.
+		var reg *ue.Registry
+		var backend ran.LoadBackend
+		if cfg.crowdEnabled() {
+			span := route.Total()
+			if cfg.Limit > 0 && cfg.Limit < span {
+				span = cfg.Limit
+			}
+			reg = ue.NewRegistry(ue.Config{
+				Op:           op,
+				Map:          m,
+				Route:        route,
+				Size:         cfg.CrowdSize,
+				Span:         span,
+				Seed:         crowdSeed(cfg.Seed, op),
+				Tick:         Tick,
+				HorizonTicks: int64(c.timeline.Ticks()),
+				MeasureSlots: cfg.CrowdSamples,
+				MeasureTicks: crowdMeasureTicks(crowdSpeedtestConfig()),
+				MeasureUnits: crowdMeasureUnits,
+				Obs:          cfg.Obs,
+			})
+			if cfg.LoadModel == LoadModelDemand {
+				backend = reg
+			}
+		}
+
 		p := &phone{
 			op:    op,
-			ue:    ran.NewUE(ran.UEConfig{Op: op, Map: m, ForceBest: cfg.DisablePolicy}, rng.Fork("active")),
+			ue:    ran.NewUE(ran.UEConfig{Op: op, Map: m, ForceBest: cfg.DisablePolicy, Load: backend}, rng.Fork("active")),
 			rec:   xcal.NewRecorder(op),
 			rng:   rng.Fork("phone/" + op.Short()),
 			fleet: fleet,
@@ -248,22 +313,63 @@ func NewCampaign(cfg Config) *Campaign {
 		p.gapLeft = cfg.TestGap
 		var logger *xcal.HandoverLogger
 		if !cfg.SkipPassive {
-			logger = xcal.NewHandoverLogger(ran.UEConfig{Op: op, Map: m, ForceBest: cfg.DisablePolicy}, rng)
+			logger = xcal.NewHandoverLogger(ran.UEConfig{Op: op, Map: m, ForceBest: cfg.DisablePolicy, Load: backend}, rng)
 		}
-		c.lanes = append(c.lanes, &lane{
+		l := &lane{
 			cfg:    &c.cfg,
 			op:     op,
 			phone:  p,
 			logger: logger,
 			m:      m,
+			reg:    reg,
 			// Nil-safe when observability is off: a nil Recorder hands out
 			// nil counters/gauges whose methods are no-ops.
 			obsTicks: cfg.Obs.Counter("lane/" + op.Short() + "/ticks"),
 			obsOdoKm: cfg.Obs.Gauge("lane/" + op.Short() + "/odometer_km"),
-		})
+		}
+		if reg != nil {
+			// Measuring crowd UEs run their flows inline at event time,
+			// against the registry's own demand aggregates — Table 3's
+			// measured column from actual concurrent flows. Results
+			// accumulate per lane in deterministic event order.
+			measSrc := rng.Fork("crowd-measure/" + op.Short())
+			stCfg := crowdSpeedtestConfig()
+			reg.OnMeasure = func(slot int, odo unit.Meters, now time.Time) {
+				res := speedtest.MeasureAt(route, m, stCfg, odo, now, measSrc.Fork(fmt.Sprintf("slot=%d", slot)), reg)
+				l.crowdResults = append(l.crowdResults, res)
+			}
+		}
+		c.lanes = append(c.lanes, l)
 	}
 	return c
 }
+
+// crowdSeed derives one lane's registry seed positionally from the
+// campaign seed — the same named-fork derivation fleet.RunSeed uses for
+// replicate seeds, so registry identity is a pure function of
+// (seed, operator), independent of lane construction or run order.
+func crowdSeed(master int64, op radio.Operator) int64 {
+	return simrand.New(master).Fork("crowd").Fork("op=" + op.Short()).Int63()
+}
+
+// crowdSpeedtestConfig is the measuring crowd's flow configuration —
+// the same shape MeasureSpeedtestCrowd's post-hoc sampling uses.
+func crowdSpeedtestConfig() speedtest.Config {
+	cfg := speedtest.DefaultConfig()
+	cfg.TestDuration = 8 * time.Second
+	return cfg
+}
+
+// crowdMeasureTicks is how long one crowd measurement occupies its cell:
+// the DL and UL transfers plus the 3 s ping burst, in whole ticks.
+func crowdMeasureTicks(cfg speedtest.Config) int64 {
+	return 2*ceilTicks(cfg.TestDuration) + ceilTicks(3*time.Second)
+}
+
+// crowdMeasureUnits is the demand one running measurement adds to its
+// serving cell — a backlogged multi-flow test, heavier than a typical
+// session (4..28 units).
+const crowdMeasureUnits = 30
 
 // Run executes the campaign and returns the raw logs. Lanes replay the
 // shared timeline on up to Config.Workers goroutines; the raw logs are
@@ -293,6 +399,7 @@ func (c *Campaign) Run() Raw {
 		TotalTicks: int64(c.timeline.Ticks()),
 		TotalKm:    c.timeline.Final().Odometer.Km(),
 		Lanes:      lanes,
+		Crowd:      c.cfg.crowdEnabled(),
 	})
 	defer stopProgress()
 

@@ -5,13 +5,16 @@ import (
 	"github.com/nuwins/cellwheels/internal/geo"
 	"github.com/nuwins/cellwheels/internal/obs"
 	"github.com/nuwins/cellwheels/internal/radio"
+	"github.com/nuwins/cellwheels/internal/speedtest"
+	"github.com/nuwins/cellwheels/internal/ue"
 	"github.com/nuwins/cellwheels/internal/xcal"
 )
 
 // lane is one operator's measurement rig: the active phone, its passive
-// handover logger, and the operator's deployment map. A lane replays the
-// shared timeline independently of the other lanes — all its mutable
-// state (UE, recorder, random streams) is private, and the structures it
+// handover logger, the operator's deployment map, and (when enabled) the
+// background-UE crowd registry. A lane replays the shared timeline
+// independently of the other lanes — all its mutable state (UE,
+// recorder, random streams, registry) is private, and the structures it
 // shares (route, map, fleet) are read-only after construction — so lanes
 // are safe to run on separate goroutines.
 type lane struct {
@@ -20,6 +23,11 @@ type lane struct {
 	phone  *phone
 	logger *xcal.HandoverLogger
 	m      *deploy.Map
+
+	// reg is the lane's crowd; nil without one. crowdResults collects the
+	// measuring crowd UEs' speedtest results in deterministic event order.
+	reg          *ue.Registry
+	crowdResults []speedtest.Result
 
 	// Observability side channel (write-only; nil-safe when obs is off).
 	obsTicks *obs.Counter
@@ -35,6 +43,13 @@ func (l *lane) run(cur *geo.Cursor) {
 		ts, ok := cur.Next()
 		if !ok {
 			break
+		}
+		// The crowd moves first, so the phone and logger read this tick's
+		// demand aggregates. The lane owns the clock: tick→time is not
+		// linear (overnight jumps between trip days), so the registry is
+		// handed the timeline's instant rather than deriving its own.
+		if l.reg != nil {
+			l.reg.Advance(ts.Time)
 		}
 		if ts.HoldFirst {
 			// Static baseline battery: carriers without high-speed 5G

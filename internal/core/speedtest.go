@@ -20,9 +20,20 @@ type OoklaMeasured struct {
 	Crowd map[radio.Operator]speedtest.Summary
 }
 
-// MeasureSpeedtestCrowd runs the crowd simulation over the campaign's
-// deployments.
+// MeasureSpeedtestCrowd produces the crowd column of the measured Table 3.
+// With a crowd registry enabled it summarizes the results the measuring
+// crowd UEs produced *during* Run — real concurrent flows against the
+// registry's own demand — so Run must have been called first. Without a
+// registry it falls back to the legacy post-hoc sampling over the
+// deployments, where samples caps the per-operator draw count.
 func (c *Campaign) MeasureSpeedtestCrowd(samples int) map[radio.Operator]speedtest.Summary {
+	if c.cfg.crowdEnabled() {
+		out := map[radio.Operator]speedtest.Summary{}
+		for _, l := range c.lanes {
+			out[l.op] = speedtest.Summarize(l.crowdResults)
+		}
+		return out
+	}
 	cfg := speedtest.DefaultConfig()
 	if samples > 0 {
 		cfg.Samples = samples
@@ -32,6 +43,18 @@ func (c *Campaign) MeasureSpeedtestCrowd(samples int) map[radio.Operator]speedte
 	rng := simrand.New(c.cfg.Seed).Fork("speedtest-crowd")
 	for op, m := range c.maps {
 		out[op] = speedtest.Summarize(speedtest.Crowd(c.route, m, cfg, rng))
+	}
+	return out
+}
+
+// CrowdResults exposes the raw per-operator results the measuring crowd
+// collected during Run; empty maps mean no crowd (or Run not yet called).
+func (c *Campaign) CrowdResults() map[radio.Operator][]speedtest.Result {
+	out := map[radio.Operator][]speedtest.Result{}
+	for _, l := range c.lanes {
+		if len(l.crowdResults) > 0 {
+			out[l.op] = l.crowdResults
+		}
 	}
 	return out
 }

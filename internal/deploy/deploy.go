@@ -74,6 +74,7 @@ type Cell struct {
 	ID       string
 	Op       radio.Operator
 	Tech     radio.Technology
+	Index    int         // position in the technology's odometer-ordered slice
 	Odometer unit.Meters // along-route position
 	Lateral  unit.Meters // perpendicular offset from the road
 	LoadMean float64     // long-run background load of the sector
@@ -264,6 +265,11 @@ func (m *Map) placeCells(t radio.Technology, src *simrand.Source) []Cell {
 		}
 		return cells[i].ID < cells[j].ID
 	})
+	// Index is the cell's position in the final ordering — the key the
+	// crowd registry's per-cell shards are addressed by.
+	for i := range cells {
+		cells[i].Index = i
+	}
 	return cells
 }
 
@@ -284,18 +290,16 @@ func loadMean(r geo.Region, src *simrand.Source) float64 {
 }
 
 // Available reports the technology set deployed at an odometer position.
-// LTE is always present.
+// LTE is always present. Binary search over the ordered fragments keeps
+// this O(log fragments) — it sits on the handsets' per-tick path and on
+// the crowd's attach path.
 func (m *Map) Available(odo unit.Meters) TechSet {
 	s := TechSet(0).With(radio.LTE)
 	for _, t := range []radio.Technology{radio.LTEA, radio.NRLow, radio.NRMid, radio.NRMmWave} {
-		for _, f := range m.fragments[t] {
-			if odo >= f.Start && odo < f.End {
-				s = s.With(t)
-				break
-			}
-			if f.Start > odo {
-				break
-			}
+		frags := m.fragments[t]
+		i := sort.Search(len(frags), func(i int) bool { return frags[i].End > odo })
+		if i < len(frags) && frags[i].Start <= odo {
+			s = s.With(t)
 		}
 	}
 	return s

@@ -30,6 +30,13 @@ func (t Traffic) String() string {
 	}
 }
 
+// Chooser is the randomness the elevation policy consumes: a weighted
+// coin. *simrand.Source satisfies it; the crowd registry adapts its
+// per-slot positional hash draws to it.
+type Chooser interface {
+	Bool(p float64) bool
+}
+
 // ChooseTech applies the operator's service-elevation policy: given the
 // technologies deployed at the UE's position and the offered traffic,
 // which one serves?
@@ -47,6 +54,13 @@ func (t Traffic) String() string {
 //     elevates idle UEs in the eastern half of the country but not the
 //     western half (Figs 1c vs 1f); Verizon rarely elevates (Fig 1b).
 func ChooseTech(op radio.Operator, avail TechSet, traffic Traffic, z geo.Timezone, rng *simrand.Source) radio.Technology {
+	return ChooseTechWith(op, avail, traffic, z, rng)
+}
+
+// ChooseTechWith is ChooseTech over any Chooser. The draw sequence is
+// identical — ChooseTech delegates here — so handsets (full simrand
+// streams) and crowd slots (positional hash draws) run the same policy.
+func ChooseTechWith(op radio.Operator, avail TechSet, traffic Traffic, z geo.Timezone, rng Chooser) radio.Technology {
 	switch traffic {
 	case HeavyDL:
 		return avail.Best()
@@ -59,7 +73,7 @@ func ChooseTech(op radio.Operator, avail TechSet, traffic Traffic, z geo.Timezon
 
 // chooseUplink walks down the technology ladder, keeping each high-speed
 // tier with an operator-specific probability.
-func chooseUplink(op radio.Operator, avail TechSet, rng *simrand.Source) radio.Technology {
+func chooseUplink(op radio.Operator, avail TechSet, rng Chooser) radio.Technology {
 	keepMM := map[radio.Operator]float64{radio.Verizon: 0.30, radio.TMobile: 0.45, radio.ATT: 0.15}[op]
 	keepMid := map[radio.Operator]float64{radio.Verizon: 0.50, radio.TMobile: 0.75, radio.ATT: 0.35}[op]
 	keepLow := map[radio.Operator]float64{radio.Verizon: 0.60, radio.TMobile: 0.80, radio.ATT: 0.50}[op]
@@ -81,7 +95,7 @@ func chooseUplink(op radio.Operator, avail TechSet, rng *simrand.Source) radio.T
 
 // chooseIdle models the conservative elevation the paper's passive
 // logging exposed.
-func chooseIdle(op radio.Operator, avail TechSet, z geo.Timezone, rng *simrand.Source) radio.Technology {
+func chooseIdle(op radio.Operator, avail TechSet, z geo.Timezone, rng Chooser) radio.Technology {
 	switch op {
 	case radio.ATT:
 		// Never elevated while idle.

@@ -186,6 +186,29 @@ func TestNondetFleetNotExempt(t *testing.T) {
 	}
 }
 
+// TestNondetUENotExempt pins that the obs exemption does not leak to the
+// crowd engine: internal/ue's event wheel and positional draws are core
+// simulation state, so wall-clock reads there must fail lint exactly as
+// in any other simulation package. The same fixture source used to pin
+// the internal/obs exemption is presented at the internal/ue path and
+// must produce findings.
+func TestNondetUENotExempt(t *testing.T) {
+	dir := filepath.Join("testdata", "nondetobs")
+	asUE, err := LoadFixture(dir, "internal/ue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{asUE}, []Rule{NondetRule{}})
+	if len(diags) != 2 {
+		t.Fatalf("internal/ue produced %d nondet findings, want 2 (time.Now, time.Since): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "nondet" {
+			t.Errorf("unexpected rule %q", d.Rule)
+		}
+	}
+}
+
 // TestDiagnosticOrdering feeds two multi-file packages to Run in reversed
 // order and requires the output sorted by file, then position — the
 // property that makes the linter's own output deterministic.

@@ -133,6 +133,40 @@ func TestProgressReports(t *testing.T) {
 	}
 }
 
+// TestProgressReportsCrowd pins the crowd figures on the status line:
+// with ProgressInfo.Crowd set the reporter appends the attached-UE count
+// and event rate read from the crowd counters/gauges; without it the
+// line stays in its historical shape.
+func TestProgressReportsCrowd(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.EnableProgress(&buf, time.Millisecond)
+	r.Counter("lane/V/ticks").Add(50)
+	r.Gauge("lane/V/odometer_km").Set(12.5)
+	r.Counter("crowd/V/events").Add(4000)
+	r.Gauge("crowd/V/attached").Set(95000)
+	stop := r.StartProgress(ProgressInfo{TotalTicks: 100, TotalKm: 25, Lanes: []string{"V"}, Crowd: true})
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	out := buf.String()
+	if !strings.Contains(out, "crowd 95.0k att") {
+		t.Errorf("progress output %q lacks attached crowd figure", out)
+	}
+	if !strings.Contains(out, "ev/s") {
+		t.Errorf("progress output %q lacks event rate", out)
+	}
+
+	buf.Reset()
+	r2 := New()
+	r2.EnableProgress(&buf, time.Millisecond)
+	stop = r2.StartProgress(ProgressInfo{TotalTicks: 100, TotalKm: 25, Lanes: []string{"V"}})
+	time.Sleep(3 * time.Millisecond)
+	stop()
+	if strings.Contains(buf.String(), "crowd") {
+		t.Errorf("progress output %q mentions crowd without Crowd set", buf.String())
+	}
+}
+
 // TestProgressDisabledWithoutEnable pins that StartProgress without
 // EnableProgress (the -metrics-only path) spawns nothing.
 func TestProgressDisabledWithoutEnable(t *testing.T) {

@@ -17,6 +17,10 @@ type ProgressInfo struct {
 	TotalKm float64
 	// Lanes are the operator short codes being simulated.
 	Lanes []string
+	// Crowd adds the background-UE figures (attached count, events/s) to
+	// the status line, read from the "crowd/<code>/events" counters and
+	// "crowd/<code>/attached" gauges.
+	Crowd bool
 }
 
 // EnableProgress arms the periodic reporter: once armed, StartProgress
@@ -77,16 +81,16 @@ func (p *progressLoop) run(r *Recorder, info ProgressInfo) {
 	tick := time.NewTicker(p.interval)
 	defer tick.Stop()
 	begin := time.Now()
-	var lastTicks int64
+	var lastTicks, lastEvents int64
 	lastAt := begin
 	for {
 		select {
 		case <-p.stop:
 			// One final line so short runs still report something.
-			p.report(r, info, begin, &lastTicks, &lastAt)
+			p.report(r, info, begin, &lastTicks, &lastEvents, &lastAt)
 			return
 		case <-tick.C:
-			p.report(r, info, begin, &lastTicks, &lastAt)
+			p.report(r, info, begin, &lastTicks, &lastEvents, &lastAt)
 		}
 	}
 }
@@ -94,11 +98,17 @@ func (p *progressLoop) run(r *Recorder, info ProgressInfo) {
 // report prints one status line:
 //
 //	obs: 123.4/500.0 km 24.7% | ticks 250000/1012345 | 310k ticks/s | eta 12s
-func (p *progressLoop) report(r *Recorder, info ProgressInfo, begin time.Time, lastTicks *int64, lastAt *time.Time) {
+//
+// With info.Crowd set the line also carries the background-UE registry's
+// attached population and event throughput:
+//
+//	obs: ... | eta 12s | crowd 99.2k att 1.3M ev/s
+func (p *progressLoop) report(r *Recorder, info ProgressInfo, begin time.Time, lastTicks, lastEvents *int64, lastAt *time.Time) {
 	now := time.Now()
 	minTicks := int64(-1)
 	minOdo := 0.0
-	var sumTicks int64
+	var sumTicks, sumEvents int64
+	attached := 0.0
 	for i, lane := range info.Lanes {
 		t := r.Counter("lane/" + lane + "/ticks").Value()
 		odo := r.Gauge("lane/" + lane + "/odometer_km").Value()
@@ -109,16 +119,22 @@ func (p *progressLoop) report(r *Recorder, info ProgressInfo, begin time.Time, l
 		if i == 0 || odo < minOdo {
 			minOdo = odo
 		}
+		if info.Crowd {
+			sumEvents += r.Counter("crowd/" + lane + "/events").Value()
+			attached += r.Gauge("crowd/" + lane + "/attached").Value()
+		}
 	}
 	if minTicks < 0 {
 		minTicks = 0
 	}
 
 	rate := 0.0
+	evRate := 0.0
 	if dt := now.Sub(*lastAt).Seconds(); dt > 0 {
 		rate = float64(sumTicks-*lastTicks) / dt
+		evRate = float64(sumEvents-*lastEvents) / dt
 	}
-	*lastTicks, *lastAt = sumTicks, now
+	*lastTicks, *lastEvents, *lastAt = sumTicks, sumEvents, now
 
 	frac := 0.0
 	if info.TotalTicks > 0 {
@@ -132,8 +148,12 @@ func (p *progressLoop) report(r *Recorder, info ProgressInfo, begin time.Time, l
 	} else if frac >= 1 {
 		eta = "0s"
 	}
-	fmt.Fprintf(p.w, "obs: %.1f/%.1f km %.1f%% | ticks %d/%d | %s ticks/s | eta %s\n",
-		minOdo, info.TotalKm, 100*frac, minTicks, info.TotalTicks, fmtRate(rate), eta)
+	crowd := ""
+	if info.Crowd {
+		crowd = fmt.Sprintf(" | crowd %s att %s ev/s", fmtRate(attached), fmtRate(evRate))
+	}
+	fmt.Fprintf(p.w, "obs: %.1f/%.1f km %.1f%% | ticks %d/%d | %s ticks/s | eta %s%s\n",
+		minOdo, info.TotalKm, 100*frac, minTicks, info.TotalTicks, fmtRate(rate), eta, crowd)
 }
 
 // fmtRate renders a per-second rate compactly (312, 4.1k, 2.3M).

@@ -111,6 +111,16 @@ func (s LinkState) CC(d radio.Direction) int {
 	return s.CCDL
 }
 
+// LoadBackend supplies serving-cell background load from an external
+// model. The crowd registry (internal/ue) implements it with per-cell
+// aggregate demand; a nil backend keeps the per-UE Ornstein–Uhlenbeck
+// stand-in, byte-identical to the historical behavior.
+type LoadBackend interface {
+	// CellLoad reports the cell's background load in [0, 1) at the given
+	// instant.
+	CellLoad(c *deploy.Cell, now time.Time) float64
+}
+
 // UEConfig configures a simulated phone's RAN attachment.
 type UEConfig struct {
 	Op  radio.Operator
@@ -118,6 +128,9 @@ type UEConfig struct {
 	// ForceBest bypasses the traffic-aware elevation policy and always
 	// serves from the best deployed technology — the policy ablation.
 	ForceBest bool
+	// Load, when non-nil, replaces the per-UE OU load stand-in with an
+	// external demand-driven backend.
+	Load LoadBackend
 }
 
 // Tunables of the attachment model. These are the calibration knobs
@@ -394,8 +407,14 @@ func drawCC(op radio.Operator, t radio.Technology, d radio.Direction, rng *simra
 	return rng.Pick(weights) + 1
 }
 
-// loadOf steps and returns the serving cell's background load.
-func (u *UE) loadOf(c *deploy.Cell) float64 {
+// loadOf returns the serving cell's background load: the external
+// backend when configured, else the per-UE OU stand-in, stepped. The
+// backend check comes before any RNG or map state is touched, so the
+// nil-backend path draws exactly the historical sequence.
+func (u *UE) loadOf(c *deploy.Cell, now time.Time) float64 {
+	if u.cfg.Load != nil {
+		return u.cfg.Load.CellLoad(c, now)
+	}
 	p, ok := u.loads[c.ID]
 	if !ok {
 		p = &simrand.OU{Mean: c.LoadMean, Revert: 0.003, Sigma: 0.006, Min: 0, Max: 0.92}
@@ -407,8 +426,12 @@ func (u *UE) loadOf(c *deploy.Cell) float64 {
 // seedTargetLoad biases a handover target the UE has not visited yet
 // toward a below-average load: mobility load balancing steers UEs to
 // less-loaded neighbours, which is part of why post-handover throughput
-// usually recovers or improves (§6).
+// usually recovers or improves (§6). With an external backend the load
+// is cell state, not per-UE state, so there is nothing to seed.
 func (u *UE) seedTargetLoad(c *deploy.Cell) {
+	if u.cfg.Load != nil {
+		return
+	}
 	if _, ok := u.loads[c.ID]; ok {
 		return
 	}
@@ -454,7 +477,7 @@ func (u *UE) Step(now time.Time, wp geo.Waypoint, speedMPH float64, dt time.Dura
 		st.CellID = c.ID
 		u.cellsSeen[c.ID] = true
 		st.RSRP = u.rsrpOf(c, wp.Odometer)
-		st.Load = u.loadOf(c)
+		st.Load = u.loadOf(c, now)
 		st.SINR = radio.SINR(u.tech, st.RSRP, st.Load)
 		st.MCS = radio.MCSFromSINR(st.SINR)
 		burst := 0.0

@@ -93,9 +93,26 @@ func Crowd(route *geo.Route, m *deploy.Map, cfg Config, rng *simrand.Source) []R
 	results := make([]Result, 0, cfg.Samples)
 	for i := 0; i < cfg.Samples; i++ {
 		pos := drawPosition(route, src)
-		results = append(results, measure(route, m, cfg, pos, src.Fork(itoa(i))))
+		results = append(results, measure(route, m, cfg, pos, crowdAnchor(), src.Fork(itoa(i)), nil))
 	}
 	return results
+}
+
+// crowdAnchor is the fixed instant the sampled (post-hoc) crowd measures
+// at: early evening during the drive window, when crowdsourced tests
+// cluster.
+func crowdAnchor() time.Time {
+	return time.Date(2022, 8, 12, 18, 0, 0, 0, time.UTC)
+}
+
+// MeasureAt runs one crowd-style measurement — a DL transfer, a UL
+// transfer, and a ping burst over parallel flows — at a fixed position
+// and instant. A non-nil load backend replaces the per-UE load stand-in,
+// which is how registry crowd UEs measure against the demand their own
+// population generates.
+func MeasureAt(route *geo.Route, m *deploy.Map, cfg Config, odo unit.Meters, now time.Time, src *simrand.Source, load ran.LoadBackend) Result {
+	cfg.applyDefaults()
+	return measure(route, m, cfg, odo, now, src, load)
 }
 
 // drawPosition samples an odometer position with a strong urban bias.
@@ -118,10 +135,9 @@ func drawPosition(route *geo.Route, src *simrand.Source) unit.Meters {
 }
 
 // measure runs one user's DL transfer, UL transfer, and ping burst.
-func measure(route *geo.Route, m *deploy.Map, cfg Config, odo unit.Meters, src *simrand.Source) Result {
+func measure(route *geo.Route, m *deploy.Map, cfg Config, odo unit.Meters, now time.Time, src *simrand.Source, load ran.LoadBackend) Result {
 	wp := route.At(odo)
-	now := time.Date(2022, 8, 12, 18, 0, 0, 0, time.UTC)
-	ue := ran.NewUE(ran.UEConfig{Op: m.Op, Map: m}, src)
+	ue := ran.NewUE(ran.UEConfig{Op: m.Op, Map: m, Load: load}, src)
 	res := Result{Op: m.Op, Region: wp.Region}
 
 	run := func(dir radio.Direction, traffic deploy.Traffic) float64 {

@@ -1,0 +1,55 @@
+package ue
+
+import "math"
+
+// Per-slot positional randomness. A forked simrand.Source per slot would
+// cost ~5 KB of math/rand state each — gigabytes at 10⁶ UEs — so slots
+// draw from a stateless splitmix64 hash instead: draw k of slot s is
+// mix64(slotKey(seed, s) + k·golden). The only per-slot state is the
+// 8-byte draw counter, and the k-th draw of slot s is a pure function of
+// (seed, s, k) — positional identity, independent of every other slot.
+
+const (
+	golden   = 0x9e3779b97f4a7c15
+	slotSalt = 0x632be59bd9b4e019
+)
+
+// mix64 is the splitmix64 finalizer (same constants the RAN layer's
+// hashNormal uses).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// draw returns the slot's next 64-bit value and advances its counter.
+func (r *Registry) draw(slot int32) uint64 {
+	k := r.seq[slot]
+	r.seq[slot] = k + 1
+	key := mix64(uint64(r.cfg.Seed) ^ mix64(uint64(slot)+slotSalt))
+	return mix64(key + golden*k)
+}
+
+// f64 draws a uniform from [0, 1).
+func (r *Registry) f64(slot int32) float64 {
+	return float64(r.draw(slot)>>11) / (1 << 53)
+}
+
+// intn draws a uniform integer from [0, n). n must be positive.
+func (r *Registry) intn(slot int32, n int64) int64 {
+	return int64(r.draw(slot) % uint64(n))
+}
+
+// expTicks draws an exponential dwell with the given mean (in ticks),
+// floored at one tick so rescheduled events always move forward.
+func (r *Registry) expTicks(slot int32, mean float64) int64 {
+	u := r.f64(slot)
+	t := int64(-mean * math.Log(1-u))
+	if t < 1 {
+		return 1
+	}
+	return t
+}

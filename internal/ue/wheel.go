@@ -1,0 +1,65 @@
+package ue
+
+// event is one scheduled occurrence for a slot. The generation stamp
+// lets a detach cancel every event still in flight for the slot without
+// searching the wheel: stale generations are dropped at fire time.
+type event struct {
+	at   int64
+	slot int32
+	gen  uint32
+	kind uint8
+}
+
+// wheelBits sizes the wheel's ring: 2^13 ticks ≈ 410 s of horizon at the
+// 50 ms step. Events further out wait in per-epoch overflow buckets and
+// are folded into the ring when their epoch begins, so scheduling and
+// firing stay O(1) amortized whatever the horizon.
+const wheelBits = 13
+
+// wheel is a tick-indexed timer wheel: a ring of near-term buckets plus
+// keyed overflow for far-future epochs. It imposes no order within a
+// bucket — Advance sorts each bucket by (kind, slot) before applying it,
+// which is the registry's ordering contract.
+type wheel struct {
+	ring  [][]event
+	far   map[int64][]event // epoch (tick >> wheelBits) -> events
+	depth int               // scheduled but not yet fired
+}
+
+func (w *wheel) init() {
+	w.ring = make([][]event, 1<<wheelBits)
+	w.far = map[int64][]event{}
+}
+
+// schedule files an event due strictly after the current tick.
+func (w *wheel) schedule(ev event, now int64) {
+	if ev.at>>wheelBits == now>>wheelBits {
+		i := ev.at & (1<<wheelBits - 1)
+		w.ring[i] = append(w.ring[i], ev)
+	} else {
+		e := ev.at >> wheelBits
+		w.far[e] = append(w.far[e], ev)
+	}
+	w.depth++
+}
+
+// take returns (and removes) the bucket due at tick. On the first tick
+// of an epoch the epoch's overflow is folded into the ring first. The
+// overflow map is only ever indexed by epoch key, never iterated, so no
+// map-order nondeterminism can leak into results.
+func (w *wheel) take(tick int64) []event {
+	mask := int64(1<<wheelBits - 1)
+	if tick&mask == 0 {
+		epoch := tick >> wheelBits
+		if evs, ok := w.far[epoch]; ok {
+			for _, ev := range evs {
+				w.ring[ev.at&mask] = append(w.ring[ev.at&mask], ev)
+			}
+			delete(w.far, epoch)
+		}
+	}
+	b := w.ring[tick&mask]
+	w.ring[tick&mask] = nil
+	w.depth -= len(b)
+	return b
+}
