@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-manifest lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke crowd-smoke ci
+.PHONY: build test race vet bench bench-manifest bench-check lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke crowd-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,18 @@ bench:
 	$(GO) test -run=NONE -bench=BenchmarkCampaignRun -benchtime=1x .
 
 # bench-manifest runs the headline benchmarks (campaign, fleet, crowd
-# step) and writes their ns/op and allocs/op to BENCH_0006.json — the
-# machine-readable record CI uploads as an artifact.
+# step, report, logsync merge) and writes their ns/op and allocs/op to
+# BENCH_0007.json — the machine-readable record CI uploads as an
+# artifact and bench-check ratchets against.
 bench-manifest:
-	$(GO) run ./cmd/benchmanifest -o BENCH_0006.json
+	$(GO) run ./cmd/benchmanifest -o BENCH_0007.json
+
+# bench-check is the perf half of the repo's ratchet: rerun the headline
+# benchmarks and fail on a >15% ns/op regression or any allocs/op
+# increase against the checked-in manifest. Intentional changes move the
+# manifest via `make bench-manifest` and commit the result.
+bench-check:
+	$(GO) run ./cmd/benchmanifest -check BENCH_0007.json
 
 # lint runs the in-repo determinism & correctness linter (internal/lint)
 # over every package; findings fail the build. Suppress intentional uses
@@ -73,4 +81,4 @@ crowd-smoke:
 
 # lint-sarif runs before the lint gates so the artifact exists for CI
 # upload even when lint fails the build.
-ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke crowd-smoke
+ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke crowd-smoke bench-check

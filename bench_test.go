@@ -518,6 +518,42 @@ func BenchmarkFleetRun(b *testing.B) {
 	}
 }
 
+// BenchmarkReport times the paper-report assembly over the shared
+// benchmark dataset: every table and figure analysis plus rendering into
+// the final text report.
+func BenchmarkReport(b *testing.B) {
+	db := benchDB(b)
+	maps := core.FigureCoverageMaps(db, geo.DefaultRoute(), 100)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = core.Report(db, maps)
+	}
+	if len(out) == 0 {
+		b.Fatal("empty report")
+	}
+}
+
+// BenchmarkLogsyncMerge times log reconciliation alone: a campaign's raw
+// logs are collected once, and each iteration re-merges them into the
+// consolidated database.
+func BenchmarkLogsyncMerge(b *testing.B) {
+	cfg := core.Config{
+		Seed:           1,
+		Limit:          80 * unit.Kilometer,
+		VideoDuration:  20 * time.Second,
+		GamingDuration: 15 * time.Second,
+	}
+	c := core.NewCampaign(cfg)
+	raw := c.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Merge(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCampaignEndToEnd times the full pipeline on a short slice:
 // drive + RAN + transport + logging + sync + merge.
 func BenchmarkCampaignEndToEnd(b *testing.B) {

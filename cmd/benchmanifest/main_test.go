@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -47,6 +48,63 @@ func TestParseBenchEmpty(t *testing.T) {
 	}
 	if len(entries) != 0 {
 		t.Fatalf("parsed %d entries from benchless output", len(entries))
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 0},
+		{Name: "BenchmarkGone", NsPerOp: 500},
+	}
+	fresh := []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1100, AllocsPerOp: 10}, // +10%: within budget
+		{Name: "BenchmarkB", NsPerOp: 2400, AllocsPerOp: 1},  // +20% and a new alloc
+		{Name: "BenchmarkNew", NsPerOp: 99},                  // new coverage: fine
+	}
+	problems := compare(old, fresh)
+	if len(problems) != 3 {
+		t.Fatalf("got %d problems, want 3:\n%s", len(problems), strings.Join(problems, "\n"))
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{
+		"BenchmarkB: 2400 ns/op, +20%",
+		"BenchmarkB: 1 allocs/op, manifest records 0",
+		"BenchmarkGone: in manifest but missing",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("problems missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	old := []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 5},
+		// Worker-pool jitter: a few allocs on millions is within the
+		// 0.1% slack.
+		{Name: "BenchmarkPool", NsPerOp: 1000, AllocsPerOp: 2_400_000},
+	}
+	fresh := []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1149, AllocsPerOp: 4},
+		{Name: "BenchmarkPool", NsPerOp: 1000, AllocsPerOp: 2_400_020},
+	}
+	if problems := compare(old, fresh); len(problems) != 0 {
+		t.Fatalf("clean run reported problems: %v", problems)
+	}
+}
+
+func TestCompareAllocSlackScales(t *testing.T) {
+	// Small counts are strict: 0 → 1 is a regression.
+	if p := compare([]Entry{{Name: "B", AllocsPerOp: 0}}, []Entry{{Name: "B", AllocsPerOp: 1}}); len(p) != 1 {
+		t.Fatalf("0→1 allocs not flagged: %v", p)
+	}
+	// Large counts get 0.1%: +0.1% passes, beyond fails.
+	if p := compare([]Entry{{Name: "B", AllocsPerOp: 1_000_000}}, []Entry{{Name: "B", AllocsPerOp: 1_001_000}}); len(p) != 0 {
+		t.Fatalf("within-slack increase flagged: %v", p)
+	}
+	if p := compare([]Entry{{Name: "B", AllocsPerOp: 1_000_000}}, []Entry{{Name: "B", AllocsPerOp: 1_001_001}}); len(p) != 1 {
+		t.Fatalf("beyond-slack increase not flagged: %v", p)
 	}
 }
 

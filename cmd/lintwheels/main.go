@@ -8,7 +8,8 @@
 //	lintwheels ./...                        # lint every package in the module
 //	lintwheels ./internal/...               # lint a subtree (interprocedural
 //	                                        # rules see only the subtree)
-//	lintwheels -rules                       # list the rule suite, sorted, and exit
+//	lintwheels -rules list                  # list the rule suite, sorted, and exit
+//	lintwheels -rules hotalloc,hotdefer,hotbox ./...   # run a subset of rules
 //	lintwheels -format sarif -o lint.sarif ./...
 //	lintwheels -baseline lint-baseline.json ./...            # check mode
 //	lintwheels -baseline lint-baseline.json -write-baseline ./...
@@ -28,6 +29,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 
 	"github.com/nuwins/cellwheels/internal/lint"
 )
@@ -35,7 +37,7 @@ import (
 func main() {
 	var (
 		chdir     = flag.String("C", "", "change to this directory before linting")
-		listRules = flag.Bool("rules", false, "list rules (sorted by name) and exit")
+		ruleSpec  = flag.String("rules", "", "comma-separated rule names to run (default all); \"list\" prints the suite and exits")
 		format    = flag.String("format", "text", "output format: text, json, or sarif")
 		outPath   = flag.String("o", "", "write the report to this file instead of stdout")
 		baseline  = flag.String("baseline", "", "baseline file: suppress known findings, fail on stale entries")
@@ -44,13 +46,17 @@ func main() {
 	)
 	flag.Parse()
 
-	if *listRules {
+	if *ruleSpec == "list" {
 		rules := lint.AllRules()
 		sort.Slice(rules, func(i, j int) bool { return rules[i].Name() < rules[j].Name() })
 		for _, r := range rules {
 			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
 		}
 		return
+	}
+	rules, err := selectRules(*ruleSpec)
+	if err != nil {
+		fail(err)
 	}
 
 	dir := *chdir
@@ -65,7 +71,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	diags := lint.RunWorkers(pkgs, lint.AllRules(), *workers)
+	diags := lint.RunWorkers(pkgs, rules, *workers)
 	// Module-relative paths keep every output stable across checkouts.
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
@@ -118,7 +124,7 @@ func main() {
 			fail(err)
 		}
 	case "sarif":
-		rep, err := lint.SARIFReport(diags, lint.AllRules())
+		rep, err := lint.SARIFReport(diags, rules)
 		if err != nil {
 			fail(err)
 		}
@@ -144,6 +150,44 @@ func main() {
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// selectRules resolves the -rules flag: empty means the full suite, and
+// a comma-separated list picks named rules, preserving suite order so the
+// output (and any SARIF rule index) stays stable regardless of how the
+// user spells the list.
+func selectRules(spec string) ([]lint.Rule, error) {
+	all := lint.AllRules()
+	if spec == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want[name] = true
+	}
+	var rules []lint.Rule
+	for _, r := range all {
+		if want[r.Name()] {
+			rules = append(rules, r)
+			delete(want, r.Name())
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown rule(s) %s; run -rules list for the suite", strings.Join(unknown, ", "))
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("-rules %q selects no rules; run -rules list for the suite", spec)
+	}
+	return rules, nil
 }
 
 func plural(n int, one, many string) string {

@@ -34,7 +34,11 @@ type lane struct {
 	obsOdoKm *obs.Gauge
 }
 
-// run replays the timeline through this lane's instruments.
+// run replays the timeline through this lane's instruments. This loop
+// is Campaign.Run's per-tick body — every 50 ms simulated step of every
+// drive goes through it.
+//
+//lint:hotroot — the campaign tick loop; everything it reaches runs per 50 ms step
 func (l *lane) run(cur *geo.Cursor) {
 	p := l.phone
 	inStatic := false

@@ -99,6 +99,8 @@ func (p *phone) tick(cfg *Config, ds geo.DriveState) {
 }
 
 // startTest opens the next rotation slot.
+//
+//lint:cold — runs once per test (every ~30 s simulated), not per tick; setup allocations are amortized
 func (p *phone) startTest(cfg *Config, ds geo.DriveState) {
 	p.spec = p.specs[p.specIdx]
 	p.specIdx = (p.specIdx + 1) % len(p.specs)
@@ -232,6 +234,8 @@ func (p *phone) tickTest(cfg *Config, ds geo.DriveState) {
 }
 
 // finishTest closes the open test and queues its logs.
+//
+//lint:cold — runs once per test, not per tick; result assembly and log queuing are amortized
 func (p *phone) finishTest(cfg *Config, ds geo.DriveState) {
 	switch p.spec.kind {
 	case dataset.AppAR, dataset.AppCAV:

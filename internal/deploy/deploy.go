@@ -297,7 +297,17 @@ func (m *Map) Available(odo unit.Meters) TechSet {
 	s := TechSet(0).With(radio.LTE)
 	for _, t := range []radio.Technology{radio.LTEA, radio.NRLow, radio.NRMid, radio.NRMmWave} {
 		frags := m.fragments[t]
-		i := sort.Search(len(frags), func(i int) bool { return frags[i].End > odo })
+		// Inlined sort.Search(len(frags), End > odo): the closure would
+		// capture odo and heap-allocate on every per-tick call.
+		i, j := 0, len(frags)
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			if frags[h].End > odo {
+				j = h
+			} else {
+				i = h + 1
+			}
+		}
 		if i < len(frags) && frags[i].Start <= odo {
 			s = s.With(t)
 		}
@@ -350,9 +360,28 @@ func (m *Map) TotalCells() int {
 // technology t within the window around odo, allocation-free.
 func (m *Map) CellRange(odo unit.Meters, t radio.Technology, window unit.Meters) (lo, hi int) {
 	cells := m.cells[t]
-	lo = sort.Search(len(cells), func(i int) bool { return cells[i].Odometer >= odo-window })
-	hi = sort.Search(len(cells), func(i int) bool { return cells[i].Odometer > odo+window })
-	return lo, hi
+	// Both bounds are inlined sort.Search calls — the closures would
+	// capture odo/window/cells and heap-allocate per handover evaluation.
+	min, max := odo-window, odo+window
+	lo, hi = 0, len(cells)
+	for lo < hi {
+		h := int(uint(lo+hi) >> 1)
+		if cells[h].Odometer >= min {
+			hi = h
+		} else {
+			lo = h + 1
+		}
+	}
+	hi2, n := lo, len(cells)
+	for hi2 < n {
+		h := int(uint(hi2+n) >> 1)
+		if cells[h].Odometer > max {
+			n = h
+		} else {
+			hi2 = h + 1
+		}
+	}
+	return lo, hi2
 }
 
 // CellsNear returns indices (into Cells(t)'s ordering) of sites within

@@ -74,9 +74,18 @@ func ChooseTechWith(op radio.Operator, avail TechSet, traffic Traffic, z geo.Tim
 // chooseUplink walks down the technology ladder, keeping each high-speed
 // tier with an operator-specific probability.
 func chooseUplink(op radio.Operator, avail TechSet, rng Chooser) radio.Technology {
-	keepMM := map[radio.Operator]float64{radio.Verizon: 0.30, radio.TMobile: 0.45, radio.ATT: 0.15}[op]
-	keepMid := map[radio.Operator]float64{radio.Verizon: 0.50, radio.TMobile: 0.75, radio.ATT: 0.35}[op]
-	keepLow := map[radio.Operator]float64{radio.Verizon: 0.60, radio.TMobile: 0.80, radio.ATT: 0.50}[op]
+	// Per-operator keep probabilities; a switch rather than map literals
+	// because this runs on the crowd's attach/handover path and a map
+	// literal allocates on every call.
+	var keepMM, keepMid, keepLow float64
+	switch op {
+	case radio.Verizon:
+		keepMM, keepMid, keepLow = 0.30, 0.50, 0.60
+	case radio.TMobile:
+		keepMM, keepMid, keepLow = 0.45, 0.75, 0.80
+	case radio.ATT:
+		keepMM, keepMid, keepLow = 0.15, 0.35, 0.50
+	}
 
 	if avail.Has(radio.NRMmWave) && rng.Bool(keepMM) {
 		return radio.NRMmWave

@@ -64,6 +64,7 @@ func (z Timezone) String() string {
 	case Eastern:
 		return "Eastern"
 	default:
+		//lint:allow hotbox — diagnostic fallback for invalid values; never taken for the four real zones
 		return fmt.Sprintf("Timezone(%d)", int(z))
 	}
 }

@@ -1,0 +1,425 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the intra-procedural allocation/escape classifier behind
+// the hotalloc and hotbox rules. For each hot function it walks the body
+// once and reports the constructs that typically force a heap allocation
+// (or O(n) construction work) on every execution:
+//
+//   - map and slice composite literals
+//   - &composite / new(T) whose address escapes
+//   - make with a non-constant size, or whose result escapes
+//   - append to a slice that is freshly allocated on every call
+//   - closures with captured variables that escape (stored, returned,
+//     or passed to another function — sort.Search's comparator is the
+//     canonical per-call allocation)
+//   - string <-> []byte / []rune conversions (always a copy)
+//   - implicit boxing of non-pointer values into interfaces (hotbox)
+//
+// The escape half is deliberately one-level and under-approximate: a
+// value is "escaping" when its immediate consumer is a return, a call
+// argument, a store into a field/global/element, or a composite; a value
+// parked in a plain local is treated as stack-bound even if a later
+// statement leaks it. Matching the compiler's interprocedural escape
+// analysis is not the goal — the goal is that every construct a reviewer
+// would have to think about on a 50 ms path is either rewritten or
+// carries a //lint:allow with a reason. Appends whose base is a field,
+// global, or parameter are amortized state growth and stay clean, as do
+// value struct literals (copies, not allocations).
+
+// allocSite is one allocation-inducing construct found in a hot function.
+type allocSite struct {
+	pos  token.Pos
+	desc string
+}
+
+// hotAllocSites classifies the allocation constructs in fi's body,
+// including nested closure bodies (code in a closure defined by a hot
+// function runs on the hot path when the closure is invoked there).
+func hotAllocSites(fi *funcInfo) []allocSite {
+	info := fi.pkg.Info
+	var sites []allocSite
+	add := func(pos token.Pos, desc string) {
+		sites = append(sites, allocSite{pos, desc})
+	}
+	var stack []ast.Node
+	ast.Inspect(fi.decl, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			classifyComposite(info, n, stack, add)
+		case *ast.CallExpr:
+			classifyCall(fi, n, stack, add)
+		case *ast.FuncLit:
+			classifyClosure(info, n, stack, add)
+		}
+		return true
+	})
+	return sites
+}
+
+// parentNode returns the enclosing node of stack's top, or nil.
+func parentNode(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// classifyComposite flags map and slice literals, and value literals
+// whose address escapes. Literals nested inside another literal share its
+// backing store and are not separate allocations.
+func classifyComposite(info *types.Info, lit *ast.CompositeLit, stack []ast.Node, add func(token.Pos, string)) {
+	parent := parentNode(stack)
+	switch parent.(type) {
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		return
+	}
+	t := info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		add(lit.Pos(), "map literal builds a fresh map on every execution; hoist it to a package-level variable or switch on the key")
+	case *types.Slice:
+		if r, ok := parent.(*ast.RangeStmt); ok && r.X == lit {
+			return // ranged in place: stays on the stack
+		}
+		add(lit.Pos(), "slice literal allocates its backing array on every execution; hoist it to a package-level variable")
+	case *types.Struct, *types.Array:
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if escapesLocally(info, stack[:len(stack)-1]) {
+				add(lit.Pos(), "&composite literal escapes to the heap")
+			}
+		}
+	}
+}
+
+// classifyCall flags allocation-shaped builtins and copying conversions.
+func classifyCall(fi *funcInfo, call *ast.CallExpr, stack []ast.Node, add func(token.Pos, string)) {
+	info := fi.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if convCopies(tv.Type, info.TypeOf(call.Args[0])) {
+			add(call.Pos(), "string conversion copies its bytes on every execution")
+		}
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	switch id.Name {
+	case "make":
+		t := info.TypeOf(call)
+		if t == nil {
+			return
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			add(call.Pos(), "make(map) allocates on every execution")
+		case *types.Chan:
+			add(call.Pos(), "make(chan) allocates on every execution")
+		case *types.Slice:
+			nonConst := false
+			for _, a := range call.Args[1:] {
+				if tv, ok := info.Types[a]; !ok || tv.Value == nil {
+					nonConst = true
+				}
+			}
+			switch {
+			case nonConst:
+				add(call.Pos(), "make([]T, n) with a non-constant size allocates on every execution; use a fixed-size array or a reused buffer")
+			case escapesLocally(info, stack):
+				add(call.Pos(), "make with an escaping result allocates on every execution")
+			}
+		}
+	case "new":
+		if escapesLocally(info, stack) {
+			add(call.Pos(), "new(T) escapes to the heap")
+		}
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := info.ObjectOf(base).(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		// Declared inside this function's body: the slice is fresh on
+		// every call, so the append's growth is never amortized. Fields,
+		// globals, and parameters are caller-owned or long-lived state.
+		if fi.decl.Body != nil && v.Pos() >= fi.decl.Body.Pos() && v.Pos() < fi.decl.Body.End() {
+			add(call.Pos(), fmt.Sprintf("append grows %s, a slice allocated fresh on every call; reuse a buffer owned by the receiver", v.Name()))
+		}
+	}
+}
+
+// classifyClosure flags closures that capture variables and escape. A
+// capture-free closure is a static function value and a directly invoked
+// literal is inlined, so neither allocates.
+func classifyClosure(info *types.Info, lit *ast.FuncLit, stack []ast.Node, add func(token.Pos, string)) {
+	caps := capturedVars(info, lit)
+	if len(caps) == 0 {
+		return
+	}
+	if call, ok := parentNode(stack).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == lit {
+		return
+	}
+	if !escapesLocally(info, stack) {
+		return
+	}
+	names := make([]string, 0, len(caps))
+	for _, v := range caps {
+		if len(names) == 3 {
+			names = append(names, "...")
+			break
+		}
+		names = append(names, v.Name())
+	}
+	add(lit.Pos(), fmt.Sprintf("closure capturing %s escapes — the closure and its captures are heap-allocated on every execution", strings.Join(names, ", ")))
+}
+
+// escapesLocally decides whether the value on top of stack escapes its
+// function, one consumer level deep: returns, call arguments, stores
+// into non-local places, composites, and channel sends escape; parking
+// the value in a plain local does not.
+func escapesLocally(info *types.Info, stack []ast.Node) bool {
+	val := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			val = p
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CallExpr:
+			for _, a := range p.Args {
+				if a == val {
+					return true
+				}
+			}
+			return false
+		case *ast.KeyValueExpr, *ast.CompositeLit, *ast.SendStmt:
+			return true
+		case *ast.AssignStmt:
+			for j, r := range p.Rhs {
+				if r != val {
+					continue
+				}
+				if j < len(p.Lhs) {
+					return storeEscapes(info, p.Lhs[j])
+				}
+			}
+			return true
+		case *ast.ValueSpec:
+			return false // var x = <val>: a local declaration
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// storeEscapes reports whether an assignment target moves the stored
+// value out of the function: anything but a plain local variable does.
+func storeEscapes(info *types.Info, lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return true // field, element, or dereference target
+	}
+	if id.Name == "_" {
+		return false
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	if !ok {
+		return true
+	}
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// convCopies reports whether a conversion between dst and src copies its
+// contents: string <-> []byte and string <-> []rune always do.
+func convCopies(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32
+}
+
+// ---- hotbox: implicit interface conversions ----
+
+// hotBoxSites finds the places fi's body boxes a non-pointer value into
+// an interface: call arguments (including variadic ...any), assignments
+// and declarations with an interface-typed target, returns, and explicit
+// conversions. Pointers, channels, maps, and funcs fit an interface word
+// without allocating and stay clean; compile-time constants are skipped
+// (small values are interned by the runtime).
+func hotBoxSites(fi *funcInfo) []allocSite {
+	info := fi.pkg.Info
+	var sites []allocSite
+	add := func(pos token.Pos, desc string) {
+		sites = append(sites, allocSite{pos, desc})
+	}
+	var stack []ast.Node
+	ast.Inspect(fi.decl, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			boxAtCall(info, n, add)
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if i < len(n.Lhs) && len(n.Rhs) == len(n.Lhs) {
+					boxAt(info, r, info.TypeOf(n.Lhs[i]), "assignment", add)
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				dt := info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					boxAt(info, v, dt, "declaration", add)
+				}
+			}
+		case *ast.ReturnStmt:
+			boxAtReturn(info, n, stack, add)
+		}
+		return true
+	})
+	return sites
+}
+
+// boxAtCall checks every argument against its parameter type, unwrapping
+// variadic parameters unless the call spreads a slice with ...
+func boxAtCall(info *types.Info, call *ast.CallExpr, add func(token.Pos, string)) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		if ok && tv.IsType() && len(call.Args) == 1 {
+			boxAt(info, call.Args[0], tv.Type, "conversion", add)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			last := sig.Params().At(np - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last // xs... hands over the slice itself
+			} else if s, ok := last.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		boxAt(info, arg, pt, "call argument", add)
+	}
+}
+
+// boxAtReturn checks each returned expression against the innermost
+// function's result types.
+func boxAtReturn(info *types.Info, ret *ast.ReturnStmt, stack []ast.Node, add func(token.Pos, string)) {
+	var sig *types.Signature
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+				sig, _ = obj.Type().(*types.Signature)
+			}
+		case *ast.FuncLit:
+			sig, _ = info.TypeOf(fn).(*types.Signature)
+		}
+		if sig != nil {
+			break
+		}
+	}
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		boxAt(info, r, sig.Results().At(i).Type(), "return", add)
+	}
+}
+
+// boxAt reports a finding when expr's concrete, allocation-requiring
+// value meets an interface-typed destination.
+func boxAt(info *types.Info, expr ast.Expr, dst types.Type, ctx string, add func(token.Pos, string)) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value != nil {
+		return
+	}
+	src := tv.Type
+	if src == nil || !boxAllocates(src) {
+		return
+	}
+	add(expr.Pos(), fmt.Sprintf("%s boxes %s into %s — the implicit interface conversion allocates; pass a pointer or restructure", ctx, typeLabel(src), typeLabel(dst)))
+}
+
+// boxAllocates reports whether storing a value of type t in an interface
+// heap-allocates: word-sized reference types (pointers, chans, maps,
+// funcs, unsafe pointers) and nil do not; everything else does.
+func boxAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+// typeLabel renders a type with package-name qualifiers ("deploy.Chooser"
+// rather than the full import path) for readable diagnostics.
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

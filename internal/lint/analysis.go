@@ -40,6 +40,9 @@ type Analysis struct {
 	// taintedGlobals are package-level variables assigned a wall-clock-
 	// derived value anywhere in the module.
 	taintedGlobals map[*types.Var]string
+	// cfgs caches per-function control-flow graphs, built lazily by
+	// loopDepthAt (hot.go). Keyed by *ast.FuncDecl / *ast.FuncLit.
+	cfgs map[ast.Node]*CFG
 }
 
 // funcInfo is one function's summary.
@@ -65,6 +68,14 @@ type funcInfo struct {
 
 	// spawns records each `go` statement in the body.
 	spawns []goSpawn
+
+	// hotRoot/cold are the //lint:hotroot and //lint:cold doc directives;
+	// hot is the propagated fact (reachable from a root through the call
+	// graph without crossing a cold barrier), hotWhy the provenance chain.
+	hotRoot bool
+	cold    bool
+	hot     bool
+	hotWhy  string
 }
 
 // goSpawn is one `go` statement: either a closure with its captured
@@ -163,7 +174,9 @@ func Analyze(pkgs []*Package) *Analysis {
 		taintedGlobals: map[*types.Var]string{},
 	}
 	a.collectFuncs()
+	a.collectHotMarks()
 	a.propagate()
+	a.propagateHot()
 	return a
 }
 

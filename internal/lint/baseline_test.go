@@ -106,3 +106,16 @@ func TestBaselineFromFixture(t *testing.T) {
 		t.Errorf("self-generated baseline leaks: surviving=%v stale=%v", surviving, stale)
 	}
 }
+
+// TestCheckedInBaselineEmpty asserts the repository's own baseline file
+// stays empty: hot-path (or any other) regressions must be fixed or
+// carry an explicit //lint:allow, never silently parked in the baseline.
+func TestCheckedInBaselineEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join("..", "..", "lint-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 0 {
+		t.Errorf("checked-in lint-baseline.json has %d entries, want 0: findings must be fixed or //lint:allow'ed, not baselined", len(b.Entries))
+	}
+}

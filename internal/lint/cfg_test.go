@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFuncBody parses a function body for CFG tests and returns the
+// fileset (for line lookups), the declaration, and its built CFG.
+func parseFuncBody(t *testing.T, body string) (*token.FileSet, *ast.FuncDecl, *CFG) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	decl := f.Decls[0].(*ast.FuncDecl)
+	return fset, decl, buildCFG(decl.Body)
+}
+
+// depthAtLine queries the loop depth of the first statement-start byte on
+// a given source line of the synthesized file.
+func depthAtLine(t *testing.T, fset *token.FileSet, decl *ast.FuncDecl, g *CFG, marker string, src string) int {
+	t.Helper()
+	idx := strings.Index(src, marker)
+	if idx < 0 {
+		t.Fatalf("marker %q not in source", marker)
+	}
+	var pos token.Pos
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil || pos != token.NoPos {
+			return false
+		}
+		if fset.Position(n.Pos()).Offset >= idx && pos == token.NoPos {
+			pos = n.Pos()
+			return false
+		}
+		return true
+	})
+	if pos == token.NoPos {
+		t.Fatalf("no node at marker %q", marker)
+	}
+	return g.LoopDepthAt(pos)
+}
+
+// TestCFGLoopDepth pins the natural-loop detection across the statement
+// shapes the hot rules care about: straight-line code is depth 0, for
+// and range bodies depth 1, nesting accumulates, and code after a loop
+// returns to depth 0.
+func TestCFGLoopDepth(t *testing.T) {
+	body := `	a := 0
+	for i := 0; i < 10; i++ {
+		a += i
+		for _, v := range []int{1, 2} {
+			a += v
+		}
+	}
+	a *= 2
+	for a > 0 {
+		a--
+	}
+	_ = a`
+	fset, decl, g := parseFuncBody(t, body)
+
+	cases := []struct {
+		marker string
+		want   int
+	}{
+		{"a := 0", 0},
+		{"a += i", 1},
+		{"a += v", 2},
+		{"a *= 2", 0},
+		{"a--", 1},
+		{"_ = a", 0},
+	}
+	full := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	for _, tc := range cases {
+		if got := depthAtLine(t, fset, decl, g, tc.marker, full); got != tc.want {
+			t.Errorf("loop depth at %q = %d, want %d", tc.marker, got, tc.want)
+		}
+	}
+	if got := g.maxLoopDepth(); got != 2 {
+		t.Errorf("maxLoopDepth = %d, want 2", got)
+	}
+}
+
+// TestCFGSwitchAndSelectNotLoops pins that branching constructs do not
+// count as loops: a switch case body and a select body are depth 0, but
+// the same constructs inside a for are depth 1.
+func TestCFGSwitchAndSelectNotLoops(t *testing.T) {
+	body := `	a := 0
+	switch a {
+	case 0:
+		a = 1
+	default:
+		a = 2
+	}
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		a = v
+	default:
+		a = 3
+	}
+	for i := 0; i < 3; i++ {
+		switch i {
+		case 1:
+			a += i
+		}
+	}
+	_ = a`
+	fset, decl, g := parseFuncBody(t, body)
+	full := "package p\n\nfunc f() {\n" + body + "\n}\n"
+
+	for _, tc := range []struct {
+		marker string
+		want   int
+	}{
+		{"a = 1", 0},
+		{"a = 2", 0},
+		{"a = v", 0},
+		{"a = 3", 0},
+		{"a += i", 1},
+	} {
+		if got := depthAtLine(t, fset, decl, g, tc.marker, full); got != tc.want {
+			t.Errorf("loop depth at %q = %d, want %d", tc.marker, got, tc.want)
+		}
+	}
+}
+
+// TestCFGLabeledBreak pins break/continue edge targets: code after a
+// labeled break out of a nested loop is back at depth 0, and the loop
+// bodies keep their depths despite the branches.
+func TestCFGLabeledBreak(t *testing.T) {
+	body := `	a := 0
+outer:
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if j == 5 {
+				break outer
+			}
+			if j == 3 {
+				continue
+			}
+			a += j
+		}
+	}
+	_ = a`
+	fset, decl, g := parseFuncBody(t, body)
+	full := "package p\n\nfunc f() {\n" + body + "\n}\n"
+
+	for _, tc := range []struct {
+		marker string
+		want   int
+	}{
+		{"a += j", 2},
+		{"_ = a", 0},
+	} {
+		if got := depthAtLine(t, fset, decl, g, tc.marker, full); got != tc.want {
+			t.Errorf("loop depth at %q = %d, want %d", tc.marker, got, tc.want)
+		}
+	}
+}
+
+// TestInnermostFuncNode pins that closures reset the loop count: a
+// position inside a FuncLit resolves to the literal, not the enclosing
+// declaration, so a defer at the top level of a closure defined inside a
+// loop is not "in a loop" from the closure's own perspective.
+func TestInnermostFuncNode(t *testing.T) {
+	src := `package p
+
+func f() {
+	for i := 0; i < 3; i++ {
+		g := func() int {
+			x := i
+			return x
+		}
+		_ = g
+	}
+}`
+	fset, _ := token.NewFileSet(), 0
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := file.Decls[0].(*ast.FuncDecl)
+	var lit *ast.FuncLit
+	var inner token.Pos
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lit = fl
+		}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+				inner = as.Pos()
+			}
+		}
+		return true
+	})
+	if lit == nil || inner == token.NoPos {
+		t.Fatal("fixture shape not found")
+	}
+
+	if got := innermostFuncNode(decl, inner); got != ast.Node(lit) {
+		t.Errorf("innermostFuncNode(x := i) = %T, want the FuncLit", got)
+	}
+	// Inside the closure the assignment is at depth 0 — the enclosing
+	// for loop belongs to f's CFG, not the closure's.
+	g := buildCFG(lit.Body)
+	if got := g.LoopDepthAt(inner); got != 0 {
+		t.Errorf("closure-internal loop depth = %d, want 0", got)
+	}
+	// From f's own CFG, the assignment to g is at depth 1.
+	fg := buildCFG(decl.Body)
+	if got := fg.LoopDepthAt(lit.Pos()); got != 1 {
+		t.Errorf("closure literal's depth in f = %d, want 1", got)
+	}
+}

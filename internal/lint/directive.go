@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"strings"
 )
 
@@ -97,7 +98,7 @@ func parseAllow(text string, known map[string]bool) (rules []string, reason stri
 	}
 	if !isAllow {
 		verb, _, _ := strings.Cut(strings.TrimPrefix(body, "lint:"), " ")
-		return nil, "", true, "unknown lint directive " + strings.TrimSpace("lint:"+verb) + "; only //lint:allow <rule> — reason is recognized"
+		return nil, "", true, "unknown lint directive " + strings.TrimSpace("lint:"+verb) + "; recognized: //lint:allow <rule> — reason, //lint:hotroot, //lint:cold — reason"
 	}
 	rest = strings.TrimSpace(rest)
 	if rest == "" {
@@ -144,14 +145,51 @@ func parseAllow(text string, known map[string]bool) (rules []string, reason stri
 
 // collectDirectives extracts every //lint: comment in the package,
 // returning the valid suppressions plus diagnostics for malformed ones.
+// Hot-path marks (//lint:hotroot, //lint:cold) are validated here too:
+// they must sit in a function declaration's doc comment — anywhere else
+// they would be silently inert, which is worse than an error — and one
+// function cannot be both a root and a barrier.
 func collectDirectives(p *Package, known map[string]bool) (allowSet, []Diagnostic) {
 	allows := allowSet{}
 	var malformed []Diagnostic
 	for _, f := range p.Files {
+		// docOwned maps comments that belong to a FuncDecl's doc group, the
+		// only placement where hot marks take effect. hotVerbs tracks the
+		// verbs seen per doc group to catch hotroot+cold conflicts.
+		docOwned := map[*ast.Comment]bool{}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			seen := map[string]bool{}
+			for _, c := range fd.Doc.List {
+				docOwned[c] = true
+				if verb, _, ok, errMsg := parseHotMark(c.Text); ok && errMsg == "" {
+					if len(seen) > 0 {
+						malformed = append(malformed, Diagnostic{
+							Pos:  p.Fset.Position(c.Pos()),
+							Rule: DirectiveRule,
+							Msg:  "conflicting hot-path marks on " + fd.Name.Name + ": a function cannot repeat or combine //lint:hotroot and //lint:cold",
+						})
+					}
+					seen[verb] = true
+				}
+			}
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rules, reason, isDirective, errMsg := parseAllow(c.Text, known)
 				pos := p.Fset.Position(c.Pos())
+				if verb, _, isHot, errMsg := parseHotMark(c.Text); isHot {
+					switch {
+					case errMsg != "":
+						malformed = append(malformed, Diagnostic{Pos: pos, Rule: DirectiveRule, Msg: errMsg})
+					case !docOwned[c]:
+						malformed = append(malformed, Diagnostic{Pos: pos, Rule: DirectiveRule, Msg: "lint:" + verb + " must sit in a function declaration's doc comment"})
+					}
+					continue
+				}
+				rules, reason, isDirective, errMsg := parseAllow(c.Text, known)
 				if !isDirective {
 					continue
 				}

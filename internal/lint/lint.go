@@ -117,6 +117,9 @@ func AllRules() []Rule {
 		GlobalMutRule{},
 		GoUnsyncRule{},
 		UnitsRule{},
+		HotAllocRule{},
+		HotDeferRule{},
+		HotBoxRule{},
 	}
 }
 
@@ -144,11 +147,16 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 // identical for every worker count — the same property the linter
 // enforces on the simulation.
 func RunWorkers(pkgs []*Package, rules []Rule, workers int) []Diagnostic {
+	// Directives validate against the full suite, not the selected subset:
+	// an //lint:allow naming a real rule must stay valid when the linter
+	// runs with -rules restricting the pass.
 	known := map[string]bool{}
+	for _, r := range AllRules() {
+		known[r.Name()] = true
+	}
 	var pkgRules []PackageRule
 	var modRules []ModuleRule
 	for _, r := range rules {
-		known[r.Name()] = true
 		if pr, ok := r.(PackageRule); ok {
 			pkgRules = append(pkgRules, pr)
 		}

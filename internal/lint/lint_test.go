@@ -29,6 +29,7 @@ var moduleFixtures = map[string]bool{
 	"timetaint":    true,
 	"globalmut":    true,
 	"directiveipa": true,
+	"hotalloc":     true,
 }
 
 // loadModuleFixtureT loads a mini-module fixture with the real module
@@ -88,6 +89,9 @@ func TestRuleFixtures(t *testing.T) {
 		{"globalmut", []Rule{GlobalMutRule{}}},
 		{"gounsync", []Rule{GoUnsyncRule{}}},
 		{"units", []Rule{UnitsRule{}}},
+		{"hotalloc", []Rule{HotAllocRule{}}},
+		{"hotdefer", []Rule{HotDeferRule{}}},
+		{"hotbox", []Rule{HotBoxRule{}}},
 		{"directive", AllRules()},
 		{"directiveipa", AllRules()},
 	}
@@ -274,7 +278,9 @@ func TestLoadModuleSelf(t *testing.T) {
 func TestRunWorkersByteIdentical(t *testing.T) {
 	var pkgs []*Package
 	pkgs = append(pkgs, loadModuleFixtureT(t, "timetaint")...)
-	pkgs = append(pkgs, loadFixtureT(t, "gounsync"), loadFixtureT(t, "units"))
+	pkgs = append(pkgs, loadModuleFixtureT(t, "hotalloc")...)
+	pkgs = append(pkgs, loadFixtureT(t, "gounsync"), loadFixtureT(t, "units"),
+		loadFixtureT(t, "hotdefer"), loadFixtureT(t, "hotbox"))
 
 	want := render(".", RunWorkers(pkgs, AllRules(), 1))
 	if want == "" {

@@ -1,0 +1,33 @@
+package lint
+
+// HotAllocRule flags allocation-inducing constructs inside functions on a
+// hot path. Hotness comes from propagateHot (see hot.go); the constructs
+// come from the intra-procedural classifier in alloc.go. Every finding
+// carries the call chain back to the declaring //lint:hotroot, so the
+// message itself proves the construct runs per tick — and a loop-depth
+// note when the CFG places the site inside a loop, where the per-tick
+// cost multiplies again.
+type HotAllocRule struct{}
+
+func (HotAllocRule) Name() string { return "hotalloc" }
+func (HotAllocRule) Doc() string {
+	return "flags heap allocations (composite literals, make, escaping new/&T{}, fresh-slice append, escaping closures, string conversions) in functions reachable from a //lint:hotroot"
+}
+
+// CheckModule reports the classifier's sites for every hot function in
+// simulator packages. The obs facade wraps I/O and is exempt, like the
+// other module rules.
+func (HotAllocRule) CheckModule(a *Analysis, report ReportFunc) {
+	for _, fi := range a.funcs {
+		if !fi.hot || !underSim(fi.pkg.Rel) || fi.pkg.Rel == obsPackage {
+			continue
+		}
+		for _, s := range hotAllocSites(fi) {
+			note := ""
+			if d := a.loopDepthAt(fi, s.pos); d > 0 {
+				note = " inside a loop"
+			}
+			report(fi.pkg, s.pos, "hot path (%s)%s: %s", fi.hotWhy, note, s.desc)
+		}
+	}
+}

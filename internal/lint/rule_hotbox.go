@@ -1,0 +1,29 @@
+package lint
+
+// HotBoxRule flags implicit interface conversions in hot functions — the
+// classic hidden allocation in Go. Storing a non-pointer value in an
+// interface (passing an int to fmt-style variadics, assigning a struct
+// to an `any`, handing a value type to an interface-typed parameter)
+// heap-allocates a copy on every execution. Pointer-shaped values share
+// the interface word and stay clean, as do compile-time constants.
+type HotBoxRule struct{}
+
+func (HotBoxRule) Name() string { return "hotbox" }
+func (HotBoxRule) Doc() string {
+	return "flags implicit interface conversions of non-pointer values in functions reachable from a //lint:hotroot — boxing allocates per execution"
+}
+
+func (HotBoxRule) CheckModule(a *Analysis, report ReportFunc) {
+	for _, fi := range a.funcs {
+		if !fi.hot || !underSim(fi.pkg.Rel) || fi.pkg.Rel == obsPackage {
+			continue
+		}
+		for _, s := range hotBoxSites(fi) {
+			note := ""
+			if d := a.loopDepthAt(fi, s.pos); d > 0 {
+				note = " inside a loop"
+			}
+			report(fi.pkg, s.pos, "hot path (%s)%s: %s", fi.hotWhy, note, s.desc)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package lint
+
+import "go/ast"
+
+// HotDeferRule flags defer statements inside loops of hot functions. A
+// defer in a loop does not run at the end of the iteration — it
+// accumulates on the function's defer stack until return, which in a
+// per-tick loop means unbounded growth in both memory and exit latency.
+// (A defer at the top level of a hot function is fine: one record,
+// amortized over the whole call.)
+type HotDeferRule struct{}
+
+func (HotDeferRule) Name() string { return "hotdefer" }
+func (HotDeferRule) Doc() string {
+	return "flags defer inside a loop of a function reachable from a //lint:hotroot — deferred calls accumulate until the function returns"
+}
+
+func (HotDeferRule) CheckModule(a *Analysis, report ReportFunc) {
+	for _, fi := range a.funcs {
+		if !fi.hot || !underSim(fi.pkg.Rel) || fi.pkg.Rel == obsPackage {
+			continue
+		}
+		ast.Inspect(fi.decl, func(n ast.Node) bool {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			if depth := a.loopDepthAt(fi, d.Pos()); depth > 0 {
+				report(fi.pkg, d.Pos(), "hot path (%s): defer inside a loop (depth %d) — deferred calls accumulate until the function returns; hoist the defer or extract the loop body into a function", fi.hotWhy, depth)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module fixture.example/hotalloc
+
+go 1.22

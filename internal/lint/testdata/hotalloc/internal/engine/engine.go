@@ -1,0 +1,23 @@
+// Package engine is the hot half of the hotalloc fixture: a declared
+// hot root whose hotness must propagate through step into the helper
+// package, carrying the provenance chain across the package boundary.
+package engine
+
+import "fixture.example/hotalloc/internal/helper"
+
+// Run drives one tick per iteration.
+//
+//lint:hotroot
+func Run(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		weights := []float64{0.2, 0.3, 0.5} // allocates per iteration
+		total += step(i, weights)
+	}
+	return total
+}
+
+// step is hot only transitively — no directive of its own.
+func step(i int, w []float64) int {
+	return helper.Grow(i) + helper.Allowed(i) + helper.Cold(i) + len(w)
+}

@@ -1,0 +1,33 @@
+// Package helper receives hotness from the engine package: Grow must be
+// flagged with a chain rooted in engine.Run, Allowed demonstrates that a
+// //lint:allow anchors at the reported site even when the hot root lives
+// in another package, and Cold shows the propagation barrier.
+package helper
+
+// Grow builds a fresh slice on every call — the positive finding.
+func Grow(n int) int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return len(out)
+}
+
+// Allowed has the same shape but documents why it is acceptable.
+func Allowed(n int) int {
+	var out []int
+	for i := 0; i < n; i++ {
+		//lint:allow hotalloc — fixture: demonstrates suppression at the reported site, across packages from the hot root
+		out = append(out, i)
+	}
+	return len(out)
+}
+
+// Cold is per-campaign setup; its allocation is amortized, so the
+// barrier keeps the whole body out of the hot rules.
+//
+//lint:cold — fixture: runs once per campaign, not per tick
+func Cold(n int) int {
+	buf := make([]int, n)
+	return len(buf)
+}

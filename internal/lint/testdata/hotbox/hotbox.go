@@ -1,0 +1,44 @@
+// The hotbox fixture: implicit interface conversions of non-pointer
+// values in hot code are flagged (call argument, assignment,
+// declaration, return); pointers share the interface word and stay
+// clean, as do compile-time constants; //lint:allow hotbox suppresses.
+package hotbox
+
+type sample struct{ x, y float64 }
+
+func consume(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// Tick is the per-tick entry point.
+//
+//lint:hotroot
+func Tick(n int) int {
+	s := sample{1, 2}
+	var v any
+	v = s               // boxes the struct: flagged
+	total := consume(n) // boxes the int argument: flagged
+	var w any = s       // declaration boxes: flagged
+	v = &s              // pointer: clean
+	total += consume(3) // constant: clean
+	if v != nil && w != nil {
+		total++
+	}
+	return total + wrapped(s)
+}
+
+// wrapped is hot transitively and passes an already-boxed any through —
+// interface-to-interface conversions are clean.
+func wrapped(s sample) int {
+	return consume(boxed(s))
+}
+
+// boxed returns its argument as any; the box is documented instead of
+// removed.
+func boxed(s sample) any {
+	//lint:allow hotbox — fixture: demonstrates suppressing a return-site box
+	return s
+}

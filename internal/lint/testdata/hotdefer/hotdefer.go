@@ -1,0 +1,28 @@
+// The hotdefer fixture: a defer at the top level of a hot function is
+// one record amortized over the call and stays clean; a defer inside a
+// loop accumulates per iteration and is flagged with its loop depth; a
+// //lint:allow hotdefer suppresses a specific site.
+package hotdefer
+
+// Tick is the per-tick entry point.
+//
+//lint:hotroot
+func Tick(n int) {
+	defer done() // top level: one record per call, clean
+	for i := 0; i < n; i++ {
+		defer release(i) // n records per call, flagged at depth 1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			defer release(j) // flagged at depth 2
+		}
+	}
+	for i := 0; i < n; i++ {
+		//lint:allow hotdefer — fixture: demonstrates suppressing a hot-defer finding
+		defer release(i)
+	}
+}
+
+func done() {}
+
+func release(int) {}

@@ -98,6 +98,7 @@ func (t Technology) String() string {
 	case NRMmWave:
 		return "5G-mmWave"
 	default:
+		//lint:allow hotbox — diagnostic fallback for invalid values; never taken for the five real technologies
 		return fmt.Sprintf("Technology(%d)", int(t))
 	}
 }
@@ -328,6 +329,8 @@ func Link(op Operator, t Technology, d Direction) LinkProfile {
 // configuration: the per-CC peak scaled by aggregation, spectral
 // efficiency at the current SINR, residual BLER, and the share of the
 // cell not consumed by background load.
+//
+//lint:hotroot — evaluated per tick per active instrument (often twice, up/down)
 func Capacity(op Operator, t Technology, dir Direction, cc int, sinr unit.DB, bler, load float64) unit.BitRate {
 	p := Link(op, t, dir)
 	if cc > p.MaxCC {

@@ -12,7 +12,6 @@
 package ran
 
 import (
-	"hash/fnv"
 	"math"
 	"time"
 
@@ -332,18 +331,29 @@ func (u *UE) rsrpOf(c *deploy.Cell, odo unit.Meters) unit.DBm {
 	return radio.RSRP(c.Tech, c.Distance(odo), shadow, radio.BeamGain(u.cfg.Op, c.Tech))
 }
 
+// FNV-1a constants, inlined below so the per-tick shadow-fading draw
+// costs no allocation (fnv.New64a returns its state behind a hash.Hash64
+// interface, and []byte(key) copies the key).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // hashNormal derives a deterministic standard-normal draw from a key and
-// bucket via Box–Muller over two hash-derived uniforms.
+// bucket via Box–Muller over two hash-derived uniforms. The hash is
+// FNV-1a over the key bytes followed by the bucket's 8 little-endian
+// bytes — bit-identical to the hash/fnv version it replaces.
 func hashNormal(key string, bucket int64) float64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	var buf [8]byte
-	v := uint64(bucket)
-	for i := range buf {
-		buf[i] = byte(v >> (8 * i))
+	x := fnvOffset64
+	for i := 0; i < len(key); i++ {
+		x ^= uint64(key[i])
+		x *= fnvPrime64
 	}
-	h.Write(buf[:])
-	x := h.Sum64()
+	v := uint64(bucket)
+	for i := 0; i < 8; i++ {
+		x ^= uint64(byte(v >> (8 * i)))
+		x *= fnvPrime64
+	}
 	// splitmix64 to decorrelate the two uniforms
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -393,14 +403,29 @@ func drawCC(op radio.Operator, t radio.Technology, d radio.Direction, rng *simra
 		return 1
 	}
 	if d == radio.Uplink {
-		p2 := map[radio.Operator]float64{radio.Verizon: 0.05, radio.TMobile: 0.60, radio.ATT: 0.30}[op]
+		// Per-operator two-carrier probability; a switch rather than a map
+		// literal because CA is redrawn on the per-tick path.
+		var p2 float64
+		switch op {
+		case radio.Verizon:
+			p2 = 0.05
+		case radio.TMobile:
+			p2 = 0.60
+		case radio.ATT:
+			p2 = 0.30
+		}
 		if rng.Bool(p2) {
 			return 2
 		}
 		return 1
 	}
-	// Downlink: favour high aggregation, with a spread.
-	weights := make([]float64, max)
+	// Downlink: favour high aggregation, with a spread. The weights live
+	// in a fixed-size stack array — the link table caps MaxCC at 8.
+	var wbuf [8]float64
+	if max > len(wbuf) {
+		max = len(wbuf)
+	}
+	weights := wbuf[:max]
 	for i := range weights {
 		weights[i] = float64(i + 1)
 	}
@@ -442,6 +467,8 @@ func (u *UE) seedTargetLoad(c *deploy.Cell) {
 
 // Step advances the UE by dt at the given vehicle state and returns the
 // new link state.
+//
+//lint:hotroot — the RAN model's per-tick entry point
 func (u *UE) Step(now time.Time, wp geo.Waypoint, speedMPH float64, dt time.Duration) LinkState {
 	avail := u.availAt(wp.Odometer)
 	if !u.attached || avail != u.lastAvail || (u.cellIdx >= 0 && !avail.Has(u.tech)) {

@@ -1,0 +1,26 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/simrand"
+	"github.com/nuwins/cellwheels/internal/unit"
+)
+
+// TestPingerStepAllocs pins the hotalloc fix in Pinger.Step: samples are
+// collected into a receiver-owned buffer, so the per-tick call allocates
+// nothing once the buffer has grown to the window's sample count.
+func TestPingerStepAllocs(t *testing.T) {
+	p := NewPinger(simrand.New(3))
+	dt := 50 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		p.Step(dt, 100*unit.Mbps, 30*time.Millisecond, 0.3, false)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		p.Step(dt, 100*unit.Mbps, 30*time.Millisecond, 0.3, false)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Pinger.Step allocates %.2f objects per call, want 0", avg)
+	}
+}

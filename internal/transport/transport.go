@@ -224,6 +224,9 @@ type Pinger struct {
 	rng      *simrand.Source
 	interval time.Duration
 	since    time.Duration
+	// buf backs Step's result between calls so the per-tick path does not
+	// grow a fresh slice; see Step's aliasing note.
+	buf []PingSample
 }
 
 // PingInterval is the paper's probing interval.
@@ -244,14 +247,18 @@ type PingSample struct {
 // window. capacity and baseRTT describe the link at this instant;
 // inHandover marks the handover execution window, during which echoes are
 // delayed by the remaining interruption or lost.
+//
+// The returned slice aliases an internal buffer and is only valid until
+// the next Step call; callers consume it immediately (the phone folds
+// samples into its RTT series on the spot).
 func (p *Pinger) Step(dt time.Duration, capacity unit.BitRate, baseRTT time.Duration, load float64, inHandover bool) []PingSample {
 	p.since += dt
-	var out []PingSample
+	p.buf = p.buf[:0]
 	for p.since >= p.interval {
 		p.since -= p.interval
-		out = append(out, p.sample(capacity, baseRTT, load, inHandover))
+		p.buf = append(p.buf, p.sample(capacity, baseRTT, load, inHandover))
 	}
-	return out
+	return p.buf
 }
 
 func (p *Pinger) sample(capacity unit.BitRate, baseRTT time.Duration, load float64, inHandover bool) PingSample {

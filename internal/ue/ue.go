@@ -31,7 +31,6 @@ package ue
 
 import (
 	"math"
-	"sort"
 	"time"
 
 	"github.com/nuwins/cellwheels/internal/deploy"
@@ -152,6 +151,11 @@ type Registry struct {
 
 	rast raster
 
+	// chooser is the reusable policy-randomness adapter: handleAttach and
+	// handleHandover set its slot and pass &r.chooser, so the per-event
+	// interface conversion carries a pointer instead of boxing a value.
+	chooser slotChooser
+
 	obsEvents   *obs.Counter
 	obsMeasures *obs.Counter
 	obsAttached *obs.Gauge
@@ -245,6 +249,7 @@ func NewRegistry(cfg Config) *Registry {
 		obsAttached: cfg.Obs.Gauge("crowd/" + cfg.Op.Short() + "/attached"),
 		obsDepth:    cfg.Obs.Gauge("crowd/" + cfg.Op.Short() + "/wheel_depth"),
 	}
+	r.chooser.r = r
 	r.wheel.init()
 	for t := 0; t < radio.NumTechnologies; t++ {
 		r.shards[t] = make([]cellShard, cfg.Map.CellCount(radio.Technology(t)))
@@ -304,16 +309,28 @@ func (r *Registry) scheduleMeasurements() {
 // in (kind, slot) order. The caller supplies the simulation instant —
 // tick→time is not linear (the timeline jumps overnight between trip
 // days), so the lane, which walks the timeline, owns the clock.
+//
+//lint:hotroot — the crowd engine's per-tick entry point
 func (r *Registry) Advance(now time.Time) {
 	r.tick++
 	bucket := r.wheel.take(r.tick)
 	if len(bucket) > 1 {
-		sort.SliceStable(bucket, func(i, j int) bool {
-			if bucket[i].kind != bucket[j].kind {
-				return bucket[i].kind < bucket[j].kind
+		// Stable insertion sort in (kind, slot) order. Buckets are tiny —
+		// a handful of events share a tick — and sort.SliceStable would
+		// box the slice and allocate its comparator on every tick. Shifting
+		// only on strict inequality preserves the order of equal elements,
+		// so the result is byte-identical to the sort.SliceStable it
+		// replaces.
+		for i := 1; i < len(bucket); i++ {
+			ev := bucket[i]
+			j := i
+			for j > 0 && (ev.kind < bucket[j-1].kind ||
+				(ev.kind == bucket[j-1].kind && ev.slot < bucket[j-1].slot)) {
+				bucket[j] = bucket[j-1]
+				j--
 			}
-			return bucket[i].slot < bucket[j].slot
-		})
+			bucket[j] = ev
+		}
 	}
 	for _, ev := range bucket {
 		if ev.gen != r.gen[ev.slot] {
@@ -340,6 +357,9 @@ func (r *Registry) Advance(now time.Time) {
 	}
 	r.obsAttached.Set(float64(r.attached))
 	r.obsDepth.Set(float64(r.wheel.depth))
+	// Every event has been applied; hand the bucket's storage back so the
+	// next tick's schedules reuse it instead of allocating.
+	r.wheel.recycle(bucket)
 }
 
 // CellLoad reports a cell's background load from its shard's aggregate
@@ -384,7 +404,8 @@ func (r *Registry) handleAttach(slot int32) {
 	}
 	odo := r.odo[slot]
 	avail := r.cfg.Map.Available(odo)
-	tech := deploy.ChooseTechWith(r.cfg.Op, avail, deploy.Idle, geo.Timezone(r.tz[slot]), slotChooser{r, slot})
+	r.chooser.slot = slot
+	tech := deploy.ChooseTechWith(r.cfg.Op, avail, deploy.Idle, geo.Timezone(r.tz[slot]), &r.chooser)
 	ci := r.nearestCell(odo, tech)
 	if ci < 0 && tech != radio.LTE {
 		tech = radio.LTE
@@ -429,7 +450,8 @@ func (r *Registry) handleHandover(slot int32) {
 		traffic = deploy.HeavyDL
 	}
 	avail := r.cfg.Map.Available(odo)
-	tech := deploy.ChooseTechWith(r.cfg.Op, avail, traffic, geo.Timezone(r.tz[slot]), slotChooser{r, slot})
+	r.chooser.slot = slot
+	tech := deploy.ChooseTechWith(r.cfg.Op, avail, traffic, geo.Timezone(r.tz[slot]), &r.chooser)
 	ci := r.nearestCell(odo, tech)
 	if ci < 0 && tech != radio.LTE {
 		tech = radio.LTE
@@ -583,11 +605,12 @@ func (r *Registry) drawPosition(slot int32, span unit.Meters) unit.Meters {
 }
 
 // slotChooser adapts a slot's positional draw stream to the Bool-only
-// randomness the elevation policy consumes.
+// randomness the elevation policy consumes. The registry holds one and
+// passes its address so the deploy.Chooser conversion never boxes.
 type slotChooser struct {
 	r    *Registry
 	slot int32
 }
 
 // Bool reports true with probability p, consuming one slot draw.
-func (c slotChooser) Bool(p float64) bool { return c.r.f64(c.slot) < p }
+func (c *slotChooser) Bool(p float64) bool { return c.r.f64(c.slot) < p }

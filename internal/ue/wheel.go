@@ -23,8 +23,17 @@ const wheelBits = 13
 type wheel struct {
 	ring  [][]event
 	far   map[int64][]event // epoch (tick >> wheelBits) -> events
+	spare [][]event         // fired buckets' storage, awaiting reuse
 	depth int               // scheduled but not yet fired
 }
+
+// spareCap bounds the recycled-bucket pool; beyond it, storage is simply
+// dropped for the GC. One bucket fires per tick, so over a full ring
+// revolution the pool can absorb up to a ring's worth of fired storage —
+// exactly the demand the next epoch fold and the epoch's first-touch
+// schedules create. A smaller cap would leak steady-state allocations
+// back into Advance; a larger one can never fill.
+const spareCap = 1 << wheelBits
 
 func (w *wheel) init() {
 	w.ring = make([][]event, 1<<wheelBits)
@@ -34,13 +43,23 @@ func (w *wheel) init() {
 // schedule files an event due strictly after the current tick.
 func (w *wheel) schedule(ev event, now int64) {
 	if ev.at>>wheelBits == now>>wheelBits {
-		i := ev.at & (1<<wheelBits - 1)
-		w.ring[i] = append(w.ring[i], ev)
+		w.emplace(ev.at&(1<<wheelBits-1), ev)
 	} else {
 		e := ev.at >> wheelBits
 		w.far[e] = append(w.far[e], ev)
 	}
 	w.depth++
+}
+
+// emplace appends ev to ring slot i, seeding an empty slot from the
+// spare pool so steady-state filing reuses fired buckets' storage
+// instead of growing fresh ones.
+func (w *wheel) emplace(i int64, ev event) {
+	if w.ring[i] == nil && len(w.spare) > 0 {
+		w.ring[i] = w.spare[len(w.spare)-1]
+		w.spare = w.spare[:len(w.spare)-1]
+	}
+	w.ring[i] = append(w.ring[i], ev)
 }
 
 // take returns (and removes) the bucket due at tick. On the first tick
@@ -53,7 +72,7 @@ func (w *wheel) take(tick int64) []event {
 		epoch := tick >> wheelBits
 		if evs, ok := w.far[epoch]; ok {
 			for _, ev := range evs {
-				w.ring[ev.at&mask] = append(w.ring[ev.at&mask], ev)
+				w.emplace(ev.at&mask, ev)
 			}
 			delete(w.far, epoch)
 		}
@@ -62,4 +81,14 @@ func (w *wheel) take(tick int64) []event {
 	w.ring[tick&mask] = nil
 	w.depth -= len(b)
 	return b
+}
+
+// recycle returns a fired bucket's storage to the spare pool. The caller
+// must be completely done with the bucket: the next schedule may hand the
+// same backing array to a new ring slot.
+func (w *wheel) recycle(b []event) {
+	if cap(b) == 0 || len(w.spare) >= spareCap {
+		return
+	}
+	w.spare = append(w.spare, b[:0])
 }
