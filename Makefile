@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-manifest bench-check lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke crowd-smoke ci
+.PHONY: build test race vet bench bench-manifest bench-check lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke fleet-sync-smoke crowd-smoke ci
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,14 @@ smoke:
 fleet-smoke:
 	$(GO) run ./cmd/fleetrun -scenario testdata/fleet-smoke.json -workers 2 -out fleet-out
 
+# fleet-sync-smoke runs a distributed fleet over loopback through the
+# real fleetrun binary: a -serve collector fed by two -push workers, the
+# merged report and manifest diffed byte-for-byte against a
+# single-process run of the same scenario.
+# fleet-sync-out/collector/fleet-manifest.json is the CI artifact.
+fleet-sync-smoke:
+	./scripts/fleet_sync_smoke.sh
+
 # crowd-smoke drives a 10⁴-UE metro-scale crowd through the real
 # drivetest CLI path — registry construction, event wheel, demand-driven
 # load, and in-run crowd measurements — over a short route.
@@ -81,4 +89,4 @@ crowd-smoke:
 
 # lint-sarif runs before the lint gates so the artifact exists for CI
 # upload even when lint fails the build.
-ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke crowd-smoke bench-check
+ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke fleet-sync-smoke crowd-smoke bench-check

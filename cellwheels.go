@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/nuwins/cellwheels/internal/atomicio"
 	"github.com/nuwins/cellwheels/internal/core"
 	"github.com/nuwins/cellwheels/internal/dataset"
 	"github.com/nuwins/cellwheels/internal/geo"
@@ -202,23 +203,12 @@ func RunArchivingRaw(cfg Config, dir string) (*Study, error) {
 	return &Study{db: db, route: c.Route(), campaign: c, obs: cfg.Obs}, nil
 }
 
-// writeDRMFile archives one capture atomically: the container is staged
-// in a temp file and renamed into place only after a complete write, so a
-// mid-archive failure never leaves a truncated .drm behind.
+// writeDRMFile archives one capture atomically via the shared writer, so
+// a mid-archive failure never leaves a truncated .drm behind.
 func writeDRMFile(path string, f xcal.File) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".drm-tmp-*")
-	if err != nil {
-		return err
-	}
-	werr := f.WriteDRM(tmp)
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return werr
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicio.WriteFile(path, 0o644, func(w io.Writer) error {
+		return f.WriteDRM(w)
+	})
 }
 
 // WriteCoverageGeoJSON writes map-ready GeoJSON into dir: the route with
@@ -283,24 +273,11 @@ func Load(r io.Reader) (*Study, error) {
 // WriteJSON serializes the full dataset.
 func (s *Study) WriteJSON(w io.Writer) error { return s.db.WriteJSON(w) }
 
-// WriteJSONFile serializes the full dataset to path atomically: staged
-// in a temp file next to the target and renamed into place only after a
-// complete write, so a failed or interrupted write never leaves a
+// WriteJSONFile serializes the full dataset to path atomically via the
+// shared writer, so a failed or interrupted write never leaves a
 // truncated dataset behind. The bytes written are exactly WriteJSON's.
 func (s *Study) WriteJSONFile(path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".dataset-tmp-*")
-	if err != nil {
-		return err
-	}
-	werr := s.WriteJSON(tmp)
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return werr
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicio.WriteFile(path, 0o644, s.WriteJSON)
 }
 
 // WriteCSV writes the per-table CSV files into dir.

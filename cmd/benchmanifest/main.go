@@ -32,12 +32,13 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
-	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/nuwins/cellwheels/internal/atomicio"
 )
 
 // Manifest is the file benchmanifest writes.
@@ -223,27 +224,14 @@ func parseBench(out []byte) ([]Entry, error) {
 	return entries, nil
 }
 
-// writeManifest stages the JSON in a temp file and renames it into place,
-// the same atomic pattern the dataset and run-manifest writers use.
+// writeManifest installs the JSON through the shared atomic writer, the
+// same pattern the dataset and run-manifest writers use.
 func writeManifest(path string, m Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-tmp-*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(data)
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return werr
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicio.WriteFileBytes(path, 0o644, append(data, '\n'))
 }
 
 func fatal(err error) {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/nuwins/cellwheels"
+	"github.com/nuwins/cellwheels/internal/atomicio"
 	"github.com/nuwins/cellwheels/internal/obs"
 )
 
@@ -149,22 +150,17 @@ func writeDataset(path string, study *cellwheels.Study) error {
 	return study.WriteJSONFile(path)
 }
 
-// writeManifest writes the run manifest with atomic temp-and-rename
-// staging, matching RunArchivingRaw's .drm pattern.
+// writeManifest writes the run manifest through the shared atomic
+// writer, matching every other artifact in the repo. The parent
+// directory is created — a -metrics path in a fresh results tree
+// should not fail a campaign that already ran.
 func writeManifest(path string, rec *obs.Recorder) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-tmp-*")
-	if err != nil {
-		return err
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("create metrics directory %s: %w", dir, err)
+		}
 	}
-	werr := rec.WriteManifest(tmp)
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return werr
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicio.WriteFile(path, 0o644, rec.WriteManifest)
 }
 
 func fatal(err error) {

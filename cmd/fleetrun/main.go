@@ -7,6 +7,8 @@
 //
 //	fleetrun -scenario fleet.json [-workers N] [-out dir]
 //	         [-archive] [-metrics manifest.json]
+//	fleetrun -scenario fleet.json -serve 127.0.0.1:8080 [-out dir]
+//	fleetrun -scenario fleet.json -push http://host:8080 [-cells 0-1,3]
 //
 // The fleet report is printed to stdout and written, together with the
 // fleet manifest (the full run matrix with per-run seeds and outcomes),
@@ -14,7 +16,22 @@
 // value. -archive additionally keeps every run's full dataset under
 // <out>/runs/; without it datasets are discarded as soon as their
 // headline metrics are folded in, so fleets of any size run in bounded
-// memory.
+// memory. A scenario's own archive_dir, when relative, resolves against
+// the scenario file's directory.
+//
+// Distributed fleets split the same scenario across machines. -serve
+// runs the collector: an HTTP endpoint (internal/fleetsync) that
+// receives content-addressed run artifacts from workers, validates each
+// against the scenario's positional run matrix, and reduces them
+// streamingly; once every expected run has arrived it writes the same
+// report and manifest — byte-identical — that a single-process run
+// would. The bound address is written to <out>/fleetsync-addr.txt (so
+// ":0" works in scripts). -push runs a worker: it executes its -cells
+// subset of the sweep (comma-separated cell indexes and ranges; default
+// all) and pushes each finished run to the collector, resumably and
+// idempotently — a worker can crash mid-push and simply be rerun. Both
+// sides fingerprint the scenario file (sha256), so a worker pushing a
+// different scenario is rejected before any run is folded.
 //
 // A run that fails — including one that panics — is contained: it is
 // recorded in the fleet manifest with its error, its sibling runs
@@ -22,14 +39,23 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/nuwins/cellwheels"
+	"github.com/nuwins/cellwheels/internal/atomicio"
+	"github.com/nuwins/cellwheels/internal/fleetsync"
 	"github.com/nuwins/cellwheels/internal/obs"
 )
 
@@ -48,6 +74,9 @@ func realMain(args []string) int {
 		out         = fs.String("out", "fleet-out", "output directory for fleet-report.txt and fleet-manifest.json")
 		archive     = fs.Bool("archive", false, "keep every run's full dataset under <out>/runs/ instead of discarding after reduction")
 		metricsPath = fs.String("metrics", "", "write the merged observability manifest (JSON) to this path")
+		serveAddr   = fs.String("serve", "", "run as a fleetsync collector on this address (e.g. 127.0.0.1:8080, or :0 to pick a port); the bound address is written to <out>/fleetsync-addr.txt")
+		pushURL     = fs.String("push", "", "run as a fleetsync worker: execute this scenario (or its -cells subset) and push finished runs to the collector at this URL")
+		cellsSpec   = fs.String("cells", "", "with -push: the sweep-cell indexes this worker runs, as comma-separated indexes and ranges (e.g. \"0-1,3\"); empty means every cell")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,18 +86,26 @@ func realMain(args []string) int {
 		fs.Usage()
 		return 2
 	}
+	if *serveAddr != "" && *pushURL != "" {
+		fmt.Fprintln(os.Stderr, "fleetrun: -serve and -push are mutually exclusive")
+		return 2
+	}
+	if *cellsSpec != "" && *pushURL == "" {
+		fmt.Fprintln(os.Stderr, "fleetrun: -cells only makes sense with -push")
+		return 2
+	}
 
 	// The recorder is the only wall clock this command touches.
 	rec := obs.New()
 
-	f, err := os.Open(*scenario)
+	// The scenario is read whole so collector and workers can agree on a
+	// fingerprint of its exact bytes — not its parsed meaning.
+	raw, err := os.ReadFile(*scenario)
 	if err != nil {
 		return fail(err)
 	}
-	cfg, err := cellwheels.ParseFleetScenario(f)
-	if cerr := f.Close(); err == nil && cerr != nil {
-		err = cerr
-	}
+	fingerprint := fmt.Sprintf("%x", sha256.Sum256(raw))
+	cfg, err := cellwheels.ParseFleetScenario(bytes.NewReader(raw))
 	if err != nil {
 		return fail(err)
 	}
@@ -77,11 +114,25 @@ func realMain(args []string) int {
 	if *workers != 0 {
 		cfg.Workers = *workers
 	}
+	// A scenario's own archive_dir is relative to the scenario file, not
+	// to wherever fleetrun happens to be invoked from.
+	if cfg.ArchiveDir != "" && !filepath.IsAbs(cfg.ArchiveDir) {
+		cfg.ArchiveDir = filepath.Join(filepath.Dir(*scenario), cfg.ArchiveDir)
+	}
+
+	if *pushURL != "" {
+		return runWorker(cfg, rec, *pushURL, *cellsSpec, *out, *archive, *metricsPath, fingerprint)
+	}
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		return fail(err)
+		return fail(fmt.Errorf("create output directory %s: %w", *out, err))
 	}
 	if *archive {
 		cfg.ArchiveDir = filepath.Join(*out, "runs")
+	}
+
+	if *serveAddr != "" {
+		return runCollector(cfg, rec, *serveAddr, *out, *metricsPath, fingerprint)
 	}
 
 	res, err := cellwheels.RunFleet(cfg)
@@ -91,54 +142,201 @@ func realMain(args []string) int {
 	fmt.Fprintf(os.Stderr, "fleet finished in %v: %d runs, %d failed\n",
 		//lint:allow timetaint — stderr banner timing only; never reaches the report or manifest
 		rec.Elapsed().Round(time.Millisecond), res.Runs(), res.Failed())
+	return writeOutputs(*out, *metricsPath, rec, res.Report(), res.WriteManifest, res.Runs(), res.Failed())
+}
 
-	report := res.Report()
-	fmt.Print(report)
-	if err := writeFileAtomic(filepath.Join(*out, "fleet-report.txt"), func(w io.Writer) error {
-		_, werr := io.WriteString(w, report)
+// runCollector is -serve: an HTTP collector that reduces runs pushed by
+// workers, then writes the same outputs a single-process fleet would.
+func runCollector(cfg cellwheels.FleetConfig, rec *obs.Recorder, addr, out, metricsPath, fingerprint string) int {
+	red, err := cellwheels.FleetReducer(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	store, err := fleetsync.OpenStore(filepath.Join(out, "sync"))
+	if err != nil {
+		return fail(err)
+	}
+	col, err := fleetsync.NewCollector(fingerprint, red, store, rec)
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fail(err)
+	}
+	// Publish the bound address only after the listener is live, so a
+	// script that waits for this file can connect as soon as it appears.
+	if err := writeFileAtomic(filepath.Join(out, "fleetsync-addr.txt"), func(w io.Writer) error {
+		_, werr := fmt.Fprintln(w, ln.Addr().String())
 		return werr
 	}); err != nil {
 		return fail(err)
 	}
-	manifestPath := filepath.Join(*out, "fleet-manifest.json")
-	if err := writeFileAtomic(manifestPath, res.WriteManifest); err != nil {
+	srv := &http.Server{Handler: col.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "fleetsync collector for scenario %s listening on %s (%d runs expected)\n",
+		fingerprint[:12], ln.Addr(), red.Total())
+
+	select {
+	case <-col.Done():
+	case err := <-serveErr:
 		return fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "fleet report and manifest written to %s/\n", *out)
-
-	if *metricsPath != "" {
-		rec.SetLabel("fleet_manifest", manifestPath)
-		if err := writeFileAtomic(*metricsPath, rec.WriteManifest); err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "obs manifest written to %s\n", *metricsPath)
+	// Graceful stop: the announce that completed the fleet still needs
+	// its response written.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
 	}
 
+	res := col.Result()
+	fmt.Fprintf(os.Stderr, "fleet collected in %v: %d runs, %d failed\n",
+		//lint:allow timetaint — stderr banner timing only; never reaches the report or manifest
+		rec.Elapsed().Round(time.Millisecond), len(res.Manifest.Runs), res.Manifest.Failed)
+	return writeOutputs(out, metricsPath, rec, res.Report(), res.Manifest.WriteJSON,
+		len(res.Manifest.Runs), res.Manifest.Failed)
+}
+
+// runWorker is -push: execute the worker's cell subset and sync every
+// finished run to the collector. The collector writes the fleet outputs;
+// the worker's -out is only used when it archives its own datasets.
+func runWorker(cfg cellwheels.FleetConfig, rec *obs.Recorder, pushURL, cellsSpec, out string, archive bool, metricsPath, fingerprint string) int {
+	cells, err := cellwheels.FleetCells(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	keep, err := parseCells(cellsSpec, len(cells))
+	if err != nil {
+		return fail(err)
+	}
+	if archive {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return fail(fmt.Errorf("create output directory %s: %w", out, err))
+		}
+		cfg.ArchiveDir = filepath.Join(out, "runs")
+	}
+	p, err := fleetsync.NewPusher(fleetsync.PusherConfig{
+		BaseURL:  pushURL,
+		Scenario: fingerprint,
+		Obs:      rec,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	// Fail fast — before any campaign runs — if the collector is absent
+	// or reducing a different scenario.
+	man, err := p.Status()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "collector at %s holds %d of %d runs\n", pushURL, man.Received, man.Total)
+
+	if keep != nil {
+		cfg.CellFilter = func(i int, _ string) bool { return keep[i] }
+	}
+	cfg.OnRun = p.PushRun
+	res, err := cellwheels.RunFleet(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "worker finished in %v: %d runs (%d failed) pushed to %s, %d retries, %d resumed uploads\n",
+		//lint:allow timetaint — stderr banner timing only; never reaches the report or manifest
+		rec.Elapsed().Round(time.Millisecond), res.Runs(), res.Failed(), pushURL,
+		rec.Counter("fleetsync/retries").Value(), rec.Counter("fleetsync/resumes").Value())
+
+	if metricsPath != "" {
+		if err := writeMetrics(metricsPath, rec); err != nil {
+			return fail(err)
+		}
+	}
 	if res.Failed() > 0 {
-		fmt.Fprintf(os.Stderr, "fleetrun: %d of %d runs failed (see %s)\n",
-			res.Failed(), res.Runs(), manifestPath)
+		fmt.Fprintf(os.Stderr, "fleetrun: %d of %d runs failed (recorded in the collector's manifest)\n",
+			res.Failed(), res.Runs())
 		return 1
 	}
 	return 0
 }
 
-// writeFileAtomic stages the write in a temp file next to the target and
-// renames it into place only after a complete write — the repo-wide
-// pattern for artifacts that must never exist truncated.
-func writeFileAtomic(path string, write func(io.Writer) error) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".fleet-tmp-*")
-	if err != nil {
+// parseCells parses a -cells spec ("0-1,3") into the kept cell-index
+// set, validated against the scenario's n sweep cells. Empty spec means
+// no restriction (nil set).
+func parseCells(spec string, n int) (map[int]bool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	keep := make(map[int]bool)
+	for _, part := range strings.Split(spec, ",") {
+		lo, hi, isRange := strings.Cut(strings.TrimSpace(part), "-")
+		if !isRange {
+			hi = lo
+		}
+		a, errA := strconv.Atoi(lo)
+		b, errB := strconv.Atoi(hi)
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("bad -cells entry %q (want an index or lo-hi range)", part)
+		}
+		if a > b || a < 0 || b >= n {
+			return nil, fmt.Errorf("-cells entry %q outside this scenario's %d sweep cells", part, n)
+		}
+		for i := a; i <= b; i++ {
+			keep[i] = true
+		}
+	}
+	return keep, nil
+}
+
+// writeOutputs installs the fleet report, manifest, and (optionally) obs
+// manifest, and converts failed runs into the exit code.
+func writeOutputs(out, metricsPath string, rec *obs.Recorder, report string, writeManifest func(io.Writer) error, runs, failed int) int {
+	fmt.Print(report)
+	if err := writeFileAtomic(filepath.Join(out, "fleet-report.txt"), func(w io.Writer) error {
+		_, werr := io.WriteString(w, report)
+		return werr
+	}); err != nil {
+		return fail(err)
+	}
+	manifestPath := filepath.Join(out, "fleet-manifest.json")
+	if err := writeFileAtomic(manifestPath, writeManifest); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "fleet report and manifest written to %s/\n", out)
+
+	if metricsPath != "" {
+		rec.SetLabel("fleet_manifest", manifestPath)
+		if err := writeMetrics(metricsPath, rec); err != nil {
+			return fail(err)
+		}
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fleetrun: %d of %d runs failed (see %s)\n", failed, runs, manifestPath)
+		return 1
+	}
+	return 0
+}
+
+// writeMetrics writes the obs manifest, creating the parent directory —
+// a -metrics path in a fresh results tree should not need a manual
+// mkdir first.
+func writeMetrics(path string, rec *obs.Recorder) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("create metrics directory %s: %w", dir, err)
+		}
+	}
+	if err := writeFileAtomic(path, rec.WriteManifest); err != nil {
 		return err
 	}
-	werr := write(tmp)
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return werr
-	}
-	return os.Rename(tmp.Name(), path)
+	fmt.Fprintf(os.Stderr, "obs manifest written to %s\n", path)
+	return nil
+}
+
+// writeFileAtomic installs one fleet artifact via the shared atomic
+// writer — staged temp, chmod, rename; never a truncated file.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	return atomicio.WriteFile(path, 0o644, write)
 }
 
 func fail(err error) int {

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/nuwins/cellwheels/internal/fleet"
 )
@@ -47,7 +50,7 @@ func TestFleetrunSuccess(t *testing.T) {
 		"-scenario", writeScenario(t, dir),
 		"-workers", "2",
 		"-out", out,
-		"-metrics", filepath.Join(dir, "obs.json"),
+		"-metrics", filepath.Join(dir, "obs", "nested", "obs.json"),
 		"-archive",
 	})
 	if code != 0 {
@@ -72,7 +75,9 @@ func TestFleetrunSuccess(t *testing.T) {
 	if !strings.Contains(string(report), "3 replicates") {
 		t.Errorf("report file looks wrong:\n%s", report)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "obs.json")); err != nil {
+	// -metrics creates its parent directories instead of failing with a
+	// bare open error.
+	if _, err := os.Stat(filepath.Join(dir, "obs", "nested", "obs.json")); err != nil {
 		t.Errorf("obs manifest missing: %v", err)
 	}
 }
@@ -119,5 +124,179 @@ func TestFleetrunUsageErrors(t *testing.T) {
 	}
 	if code := realMain([]string{"-scenario", "/does/not/exist.json"}); code != 1 {
 		t.Errorf("unreadable scenario: exit %d, want 1", code)
+	}
+	dir := t.TempDir()
+	scenario := writeScenario(t, dir)
+	if code := realMain([]string{"-scenario", scenario, "-serve", ":0", "-push", "http://x"}); code != 2 {
+		t.Errorf("-serve with -push: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-scenario", scenario, "-cells", "0"}); code != 2 {
+		t.Errorf("-cells without -push: exit %d, want 2", code)
+	}
+	// -cells validation fails before any network or campaign work.
+	if code := realMain([]string{"-scenario", scenario, "-push", "http://127.0.0.1:1", "-cells", "5"}); code != 1 {
+		t.Errorf("out-of-range -cells: exit %d, want 1", code)
+	}
+	if code := realMain([]string{"-scenario", scenario, "-push", "http://127.0.0.1:1", "-cells", "x-y"}); code != 1 {
+		t.Errorf("malformed -cells: exit %d, want 1", code)
+	}
+}
+
+func TestParseCells(t *testing.T) {
+	got, err := parseCells("0-1, 3", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 1: true, 3: true}
+	if len(got) != len(want) {
+		t.Fatalf("parseCells = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !got[i] {
+			t.Errorf("cell %d missing from %v", i, got)
+		}
+	}
+	if set, err := parseCells("", 5); set != nil || err != nil {
+		t.Errorf("empty spec = %v, %v; want nil, nil", set, err)
+	}
+	for _, bad := range []string{"2-1", "-1", "5", "1-5", "a"} {
+		if _, err := parseCells(bad, 5); err == nil {
+			t.Errorf("parseCells(%q) accepted", bad)
+		}
+	}
+}
+
+// sweepScenario has two sweep cells so a distributed fleet can split it
+// across workers.
+const sweepScenario = `{
+  "master_seed": 5,
+  "replicates": 2,
+  "base": {"limit_km": 6, "skip_apps": true, "skip_static": true, "skip_passive": true},
+  "sweep": [{"field": "disable_edge", "values": [false, true]}]
+}`
+
+func waitForAddr(t *testing.T, path string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		data, err := os.ReadFile(path)
+		if err == nil && len(bytes.TrimSpace(data)) > 0 {
+			return string(bytes.TrimSpace(data))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("collector never published fleetsync-addr.txt")
+	return ""
+}
+
+// TestFleetrunDistributedMatchesSingleProcess is the CLI-level pin of
+// the fleetsync contract: a -serve collector fed by two -push workers
+// over loopback writes the same report and manifest, byte for byte, as
+// one local fleetrun of the same scenario.
+func TestFleetrunDistributedMatchesSingleProcess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(path, []byte(sweepScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	single := filepath.Join(dir, "single")
+	if code := realMain([]string{"-scenario", path, "-workers", "2", "-out", single}); code != 0 {
+		t.Fatalf("single-process run: exit %d", code)
+	}
+
+	collected := filepath.Join(dir, "collected")
+	serveDone := make(chan int, 1)
+	go func() {
+		serveDone <- realMain([]string{"-scenario", path, "-serve", "127.0.0.1:0", "-out", collected})
+	}()
+	url := "http://" + waitForAddr(t, filepath.Join(collected, "fleetsync-addr.txt"))
+	if code := realMain([]string{"-scenario", path, "-push", url, "-cells", "0"}); code != 0 {
+		t.Fatalf("worker for cell 0: exit %d", code)
+	}
+	if code := realMain([]string{"-scenario", path, "-push", url, "-cells", "1"}); code != 0 {
+		t.Fatalf("worker for cell 1: exit %d", code)
+	}
+	if code := <-serveDone; code != 0 {
+		t.Fatalf("collector: exit %d", code)
+	}
+
+	for _, name := range []string{"fleet-report.txt", "fleet-manifest.json"} {
+		want, err := os.ReadFile(filepath.Join(single, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(collected, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("distributed %s differs from single-process run:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+		}
+	}
+}
+
+// archiveScenario sets a relative archive_dir, which must resolve
+// against the scenario file's directory — not fleetrun's cwd.
+const archiveScenario = `{
+  "master_seed": 5,
+  "replicates": 1,
+  "archive_dir": "results/runs",
+  "base": {"limit_km": 6, "skip_apps": true, "skip_static": true, "skip_passive": true}
+}`
+
+func TestFleetrunScenarioRelativeArchiveDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(path, []byte(archiveScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := realMain([]string{"-scenario", path, "-out", filepath.Join(dir, "out")}); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	// The archive (and its parents) landed next to the scenario file.
+	if _, err := os.Stat(filepath.Join(dir, "results", "runs", "run-000.json")); err != nil {
+		t.Errorf("scenario-relative archive missing: %v", err)
+	}
+	if _, err := os.Stat("results"); err == nil {
+		t.Error("archive_dir resolved against the cwd, not the scenario file")
+	}
+}
+
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestFleetrunUnwritableOutDirError(t *testing.T) {
+	dir := t.TempDir()
+	scenario := writeScenario(t, dir)
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	stderr := captureStderr(t, func() {
+		code = realMain([]string{"-scenario", scenario, "-out", filepath.Join(blocker, "out")})
+	})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "create output directory") {
+		t.Errorf("unwritable -out produced a bare error:\n%s", stderr)
 	}
 }

@@ -25,12 +25,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 
+	"github.com/nuwins/cellwheels/internal/atomicio"
 	"github.com/nuwins/cellwheels/internal/lint"
 )
 
@@ -96,43 +98,41 @@ func main() {
 		diags, stale = lint.ApplyBaseline(b, diags)
 	}
 
-	out := os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fail(err)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fail(err)
+	emit := func(out io.Writer) error {
+		switch *format {
+		case "text":
+			for _, d := range diags {
+				if _, err := fmt.Fprintln(out, d); err != nil {
+					return err
+				}
 			}
-		}()
-		out = f
+			return nil
+		case "json":
+			rep, err := lint.JSONReport(diags)
+			if err != nil {
+				return err
+			}
+			_, err = out.Write(rep)
+			return err
+		case "sarif":
+			rep, err := lint.SARIFReport(diags, rules)
+			if err != nil {
+				return err
+			}
+			_, err = out.Write(rep)
+			return err
+		default:
+			return fmt.Errorf("unknown -format %q (want text, json, or sarif)", *format)
+		}
 	}
-
-	switch *format {
-	case "text":
-		for _, d := range diags {
-			fmt.Fprintln(out, d)
-		}
-	case "json":
-		rep, err := lint.JSONReport(diags)
-		if err != nil {
+	if *outPath != "" {
+		// Atomic install: a failed render or write never leaves a
+		// truncated report where CI expects a complete artifact.
+		if err := atomicio.WriteFile(*outPath, 0o644, emit); err != nil {
 			fail(err)
 		}
-		if _, err := out.Write(rep); err != nil {
-			fail(err)
-		}
-	case "sarif":
-		rep, err := lint.SARIFReport(diags, rules)
-		if err != nil {
-			fail(err)
-		}
-		if _, err := out.Write(rep); err != nil {
-			fail(err)
-		}
-	default:
-		fail(fmt.Errorf("unknown -format %q (want text, json, or sarif)", *format))
+	} else if err := emit(os.Stdout); err != nil {
+		fail(err)
 	}
 
 	bad := false

@@ -56,6 +56,18 @@ type FleetConfig struct {
 	// so counters accumulate across the whole fleet). Side channel
 	// only: it never changes the report, manifest, or datasets.
 	Obs *obs.Recorder `json:"-"`
+	// CellFilter, when non-nil, restricts the fleet to the sweep cells it
+	// returns true for (index is the cell's position in sweep order, key
+	// its canonical "f1=v1|f2=v2" identity). The kept runs retain their
+	// full-matrix indexes and positional seeds, so disjoint workers
+	// produce runs a fleetsync collector merges into exactly the
+	// single-process result.
+	CellFilter func(index int, key string) bool `json:"-"`
+	// OnRun, when non-nil, streams each finished run's manifest record
+	// and flat metrics, in completion order on a single goroutine — the
+	// worker-side seam fleetsync pushes runs from. Its first error fails
+	// the fleet after in-flight runs drain.
+	OnRun func(rec fleet.RunRecord, m fleet.Metrics) error `json:"-"`
 	// TestHookStart, when non-nil, runs at the start of every fleet run
 	// on its worker goroutine — a test-only seam for injecting failures
 	// (including panics, which the pool contains and records in the
@@ -175,6 +187,11 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		hook := cfg.TestHookStart
 		start = func(s fleet.RunSpec) { hook(s.Index, s.Cell.Key, s.Replicate) }
 	}
+	var filter func(int, fleet.Cell) bool
+	if cfg.CellFilter != nil {
+		keep := cfg.CellFilter
+		filter = func(i int, c fleet.Cell) bool { return keep(i, c.Key) }
+	}
 
 	res, err := fleet.Run(fleet.Config{
 		MasterSeed:  cfg.MasterSeed,
@@ -184,6 +201,8 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		Run:         runner,
 		MetricOrder: fleetMetricOrder(),
 		Obs:         cfg.Obs,
+		CellFilter:  filter,
+		OnRun:       cfg.OnRun,
 		Start:       start,
 	})
 	if err != nil {
@@ -198,9 +217,46 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	fp := cfg
 	fp.Obs = nil
 	fp.TestHookStart = nil
+	fp.CellFilter = nil
+	fp.OnRun = nil
 	cfg.Obs.SetLabel("config_sha256", obs.Fingerprint(fp))
 	cfg.Obs.SetLabel("fleet_runs", strconv.Itoa(len(res.Manifest.Runs)))
 	return &FleetResult{res: res}, nil
+}
+
+// FleetReducer builds the collector-side reduction for a scenario: a
+// fleet.Reducer expecting the scenario's full run matrix with positional
+// seeds and the campaign metric order, so runs executed by remote workers
+// fold into a Result byte-identical to RunFleet's over the same scenario.
+func FleetReducer(cfg FleetConfig) (*fleet.Reducer, error) {
+	axes := make([]fleet.Axis, len(cfg.Sweep))
+	for i, a := range cfg.Sweep {
+		axes[i] = fleet.Axis{Field: a.Field, Values: a.Values}
+	}
+	red, err := fleet.NewReducer(cfg.MasterSeed, cfg.Replicates, axes, nil, fleetMetricOrder())
+	if err != nil {
+		return nil, fmt.Errorf("cellwheels: fleet: %w", err)
+	}
+	return red, nil
+}
+
+// FleetCells lists a scenario's sweep cells — their canonical keys, in
+// sweep order — without running anything. Worker cell subsets (fleetrun
+// -cells) are validated and reported against this list.
+func FleetCells(cfg FleetConfig) ([]string, error) {
+	axes := make([]fleet.Axis, len(cfg.Sweep))
+	for i, a := range cfg.Sweep {
+		axes[i] = fleet.Axis{Field: a.Field, Values: a.Values}
+	}
+	cells, err := fleet.Expand(axes)
+	if err != nil {
+		return nil, fmt.Errorf("cellwheels: fleet: %w", err)
+	}
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = c.Key
+	}
+	return keys, nil
 }
 
 // applyFleetOverrides returns base with a sweep cell's field overrides

@@ -1,0 +1,57 @@
+// Package atomicio is the repo's one atomic file writer: artifacts that
+// must never exist truncated — datasets, manifests, reports, baselines,
+// synced blobs — are staged in a temp file next to the target and renamed
+// into place only after a complete write.
+//
+// The package replaces the per-command copies of this pattern, which had
+// two shared bugs: a failed os.Rename leaked the temp file, and the
+// installed artifact kept os.CreateTemp's private 0600 mode instead of a
+// normal artifact mode. WriteFile removes the temp on every failure path
+// and chmods it to the requested mode before the rename, so the installed
+// file has the permissions the caller asked for on every platform that
+// honors them.
+package atomicio
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically writes path: write streams the content into a temp
+// file staged in path's directory, the temp is chmodded to perm and
+// renamed over path only after write and Close both succeed. On any
+// failure — including a failed rename — the temp file is removed and path
+// is left untouched (either absent or holding its previous content).
+func WriteFile(path string, perm fs.FileMode, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	werr := write(tmp)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	// CreateTemp opens at 0600; artifacts install at the caller's mode.
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), perm)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for callers that already hold the full
+// content in memory.
+func WriteFileBytes(path string, perm fs.FileMode, data []byte) error {
+	return WriteFile(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

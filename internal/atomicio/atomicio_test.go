@@ -1,0 +1,119 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// leftovers lists dir's entries besides the named survivors — a write
+// must never leave its staging temp behind.
+func leftovers(t *testing.T, dir string, keep ...string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := map[string]bool{}
+	for _, k := range keep {
+		kept[k] = true
+	}
+	var extra []string
+	for _, e := range ents {
+		if !kept[e.Name()] {
+			extra = append(extra, e.Name())
+		}
+	}
+	return extra
+}
+
+func TestWriteFileSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFileBytes(path, 0o644, []byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello\n" {
+		t.Errorf("content = %q", data)
+	}
+	if runtime.GOOS != "windows" {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Mode().Perm(); got != 0o644 {
+			t.Errorf("installed mode = %o, want 644 (CreateTemp's 0600 must not leak through)", got)
+		}
+	}
+	if extra := leftovers(t, dir, "artifact.json"); len(extra) != 0 {
+		t.Errorf("temp files left behind: %v", extra)
+	}
+}
+
+func TestWriteFileOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFileBytes(path, 0o644, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("mid-write failure")
+	err := WriteFile(path, 0o644, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "partial"); werr != nil {
+			return werr
+		}
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the write error", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old" {
+		t.Errorf("failed write replaced the target: %q", data)
+	}
+	if extra := leftovers(t, dir, "artifact.json"); len(extra) != 0 {
+		t.Errorf("temp files left behind after failed write: %v", extra)
+	}
+}
+
+func TestWriteFileFailedWriteLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFile(path, 0o644, func(io.Writer) error {
+		return errors.New("boom")
+	}); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("target exists after failed write: %v", err)
+	}
+	if extra := leftovers(t, dir); len(extra) != 0 {
+		t.Errorf("temp files left behind: %v", extra)
+	}
+}
+
+// TestWriteFileRenameFailureRemovesTemp pins the bug the shared helper
+// exists for: when the final rename fails (here: the target path is an
+// existing directory), the staged temp must be cleaned up, not leaked.
+func TestWriteFileRenameFailureRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	if err := os.MkdirAll(filepath.Join(path, "child"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, 0o644, []byte("data")); err == nil {
+		t.Fatal("want rename failure onto a non-empty directory")
+	}
+	if extra := leftovers(t, dir, "occupied"); len(extra) != 0 {
+		t.Errorf("temp files leaked after rename failure: %v", extra)
+	}
+}

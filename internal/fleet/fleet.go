@@ -87,6 +87,20 @@ type Config struct {
 	// Obs receives fleet-level phase timings and run counters. Side
 	// channel only: nil and non-nil recorders produce identical results.
 	Obs *obs.Recorder
+	// CellFilter, when non-nil, restricts execution to the sweep cells it
+	// returns true for (index is the cell's position in sweep order).
+	// Filtered fleets keep the full matrix's positional run indexes and
+	// seeds, so two workers covering disjoint cell subsets produce runs a
+	// collector can merge into exactly the single-process result. The
+	// Result covers only the kept cells.
+	CellFilter func(index int, c Cell) bool
+	// OnRun, when non-nil, streams every finished run — its manifest
+	// record plus its folded metrics — in completion order on the
+	// collect goroutine (never concurrently). It is the worker-side push
+	// seam: fleetsync pushes each run to the collector from here. The
+	// first error stops further OnRun calls and fails Run after the
+	// remaining pool runs drain.
+	OnRun func(RunRecord, Metrics) error
 	// Start, when non-nil, runs at the beginning of every run on its
 	// worker goroutine — a test-only seam for injecting failures
 	// (including panics) into the pool. Production callers leave it nil.
@@ -114,32 +128,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	stopExpand := cfg.Obs.StartPhase("fleet/expand")
-	cells, err := Expand(cfg.Sweep)
+	red, err := NewReducer(cfg.MasterSeed, cfg.Replicates, cfg.Sweep, cfg.CellFilter, cfg.MetricOrder)
+	stopExpand()
 	if err != nil {
-		stopExpand()
 		return nil, err
 	}
-	specs := make([]RunSpec, 0, len(cells)*cfg.Replicates)
-	for _, cell := range cells {
-		for rep := 0; rep < cfg.Replicates; rep++ {
-			specs = append(specs, RunSpec{
-				Index:     len(specs),
-				Cell:      cell,
-				Replicate: rep,
-				Seed:      RunSeed(cfg.MasterSeed, cell.Key, rep),
-			})
-		}
-	}
-	stopExpand()
-
-	acc := newAccumulator(cells, cfg.Replicates)
-	records := make([]RunRecord, len(specs))
-	okByCell := make([]int, len(cells))
-	failed := 0
 
 	stopRuns := cfg.Obs.StartPhase("fleet/runs")
 	okCounter := cfg.Obs.Counter("fleet/runs_ok")
 	failCounter := cfg.Obs.Counter("fleet/runs_failed")
+	var onRunErr error
 	// collect runs on a single goroutine (see runAll), so the folds and
 	// counters below need no locking.
 	collect := func(spec RunSpec, res RunResult, err error) {
@@ -152,34 +150,29 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			rec.Status = RunFailed
 			rec.Error = err.Error()
-			failed++
 			failCounter.Add(1)
 		} else {
 			rec.Status = RunOK
 			rec.Dataset = res.Dataset
-			acc.fold(spec, res.Metrics)
-			okByCell[acc.index[spec.Cell.Key]]++
 			okCounter.Add(1)
 		}
-		records[spec.Index] = rec
+		// The records come straight from the reducer's own spec list, so
+		// Fold's validation cannot fail here.
+		if ferr := red.Fold(rec, res.Metrics); ferr != nil && onRunErr == nil {
+			onRunErr = ferr
+		}
+		if cfg.OnRun != nil && onRunErr == nil {
+			if perr := cfg.OnRun(rec, res.Metrics); perr != nil {
+				onRunErr = perr
+			}
+		}
 	}
-	runAll(specs, cfg.Workers, cfg.Run, cfg.Start, collect)
+	runAll(red.Specs(), cfg.Workers, cfg.Run, cfg.Start, collect)
 	stopRuns()
+	if onRunErr != nil {
+		return nil, onRunErr
+	}
 
 	defer cfg.Obs.StartPhase("fleet/reduce")()
-	keys := make([]string, len(cells))
-	for i, c := range cells {
-		keys[i] = c.Key
-	}
-	return &Result{
-		Cells: acc.summarize(cfg.MetricOrder, okByCell),
-		Manifest: Manifest{
-			Schema:     ManifestSchema,
-			MasterSeed: cfg.MasterSeed,
-			Replicates: cfg.Replicates,
-			Cells:      keys,
-			Failed:     failed,
-			Runs:       records,
-		},
-	}, nil
+	return red.Result(), nil
 }

@@ -1,0 +1,389 @@
+package fleetsync
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/nuwins/cellwheels/internal/fleet"
+	"github.com/nuwins/cellwheels/internal/obs"
+)
+
+// Client-side defaults. A whole push is bounded by MaxAttempts requests
+// per protocol step, each with its own timeout, with exponential backoff
+// plus jitter between attempts — a worker never hangs forever on a dead
+// collector and never hammers a briefly hiccuping one.
+const (
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxAttempts    = 8
+	DefaultBackoffBase    = 100 * time.Millisecond
+	DefaultBackoffMax     = 5 * time.Second
+)
+
+// PusherConfig parameterizes a worker's sync client.
+type PusherConfig struct {
+	// BaseURL locates the collector, e.g. "http://10.0.0.7:8080".
+	BaseURL string
+	// Scenario is the scenario fingerprint the collector was started
+	// with; mismatched pushes are rejected before any bytes move.
+	Scenario string
+	// Transport, when non-nil, replaces the default HTTP transport — the
+	// fault-injection seam the flaky-network tests use.
+	Transport http.RoundTripper
+	// RequestTimeout bounds each individual HTTP request (0 = default).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds the retries of each protocol step (0 = default).
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries (0 = defaults). The jitter on top is deterministic — a
+	// splitmix64 hash of (blob, attempt) — so retry schedules need no
+	// global randomness.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Obs counts pushes, retries, and resumes. Nil is a no-op.
+	Obs *obs.Recorder
+	// Sleep replaces time.Sleep between retries in tests. Nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Pusher uploads run artifacts to a collector, resumably and
+// idempotently: it can be killed at any byte of any request and a fresh
+// PushRun of the same run converges without duplicating or corrupting
+// anything on the collector.
+type Pusher struct {
+	cfg    PusherConfig
+	client *http.Client
+	sleep  func(time.Duration)
+}
+
+// NewPusher builds a sync client.
+func NewPusher(cfg PusherConfig) (*Pusher, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("fleetsync: pusher needs a collector URL")
+	}
+	if cfg.Scenario == "" {
+		return nil, fmt.Errorf("fleetsync: pusher needs a scenario fingerprint")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	p := &Pusher{
+		cfg:    cfg,
+		client: &http.Client{Transport: cfg.Transport, Timeout: cfg.RequestTimeout},
+		sleep:  cfg.Sleep,
+	}
+	if p.sleep == nil {
+		p.sleep = time.Sleep
+	}
+	return p, nil
+}
+
+// PushRun syncs one finished run to the collector: encode the canonical
+// artifact, upload its bytes (resuming any partial previous attempt),
+// and announce it for reduction. Safe to call for a run the collector
+// already has — the announce lands as a duplicate no-op.
+func (p *Pusher) PushRun(rec fleet.RunRecord, m fleet.Metrics) error {
+	data, err := EncodeArtifact(Artifact{Record: rec, Metrics: m})
+	if err != nil {
+		return err
+	}
+	digest := Digest(data)
+	if err := p.uploadBlob(digest, data); err != nil {
+		return fmt.Errorf("fleetsync: push run %d: %w", rec.Index, err)
+	}
+	if err := p.announceRun(rec.Index, digest); err != nil {
+		return fmt.Errorf("fleetsync: push run %d: %w", rec.Index, err)
+	}
+	p.cfg.Obs.Counter("fleetsync/pushes").Add(1)
+	return nil
+}
+
+// uploadBlob drives the resumable upload loop: learn the collector's
+// offset, send the remainder, handle verification. Each failed attempt
+// backs off and retries from the freshly queried offset, so bytes that
+// made it through a broken connection are never re-sent.
+func (p *Pusher) uploadBlob(digest string, data []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.cfg.Obs.Counter("fleetsync/retries").Add(1)
+			p.sleep(backoff(p.cfg.BackoffBase, p.cfg.BackoffMax, digest, attempt))
+		}
+		offset, complete, err := p.blobStatus(digest)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if complete {
+			return nil
+		}
+		if offset > 0 {
+			if offset > int64(len(data)) {
+				// A stale staging file from some other content under the
+				// same name cannot happen (names are digests); an
+				// over-long stage means a collector restart raced us.
+				// Start over.
+				offset = 0
+			} else {
+				p.cfg.Obs.Counter("fleetsync/resumes").Add(1)
+			}
+		}
+		done, err := p.putBlob(digest, data, offset)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if done {
+			return nil
+		}
+		// Partial accept (short read server-side): loop resumes from the
+		// collector's new offset without burning the backoff clock being
+		// wrong about where we are.
+		lastErr = fmt.Errorf("upload of %s incomplete", digest)
+	}
+	return fmt.Errorf("upload %s failed after %d attempts: %w", digest, p.cfg.MaxAttempts, lastErr)
+}
+
+// blobStatus HEADs the blob: (staged offset, committed, error).
+func (p *Pusher) blobStatus(digest string) (int64, bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, p.blobURL(digest), nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return 0, false, wireError("blob status", resp.StatusCode, readErrBody(resp))
+	}
+	offset, _ := strconv.ParseInt(resp.Header.Get(HeaderReceived), 10, 64)
+	return offset, resp.Header.Get(HeaderComplete) == "1", nil
+}
+
+// putBlob uploads data[offset:]; reports whether the blob is now
+// committed. A digest rejection (the collector hashed our bytes to
+// something else — corruption in transit) discards the staging file
+// server-side, so the retry restarts from byte 0.
+func (p *Pusher) putBlob(digest string, data []byte, offset int64) (bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, p.blobURL(digest), bytes.NewReader(data[offset:]))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set(HeaderOffset, strconv.FormatInt(offset, 10))
+	req.Header.Set(HeaderSize, strconv.Itoa(len(data)))
+	req.ContentLength = int64(len(data)) - offset
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusCreated, http.StatusOK:
+		return true, nil
+	case http.StatusAccepted, http.StatusConflict:
+		// Accepted: more bytes wanted. Conflict: our offset was stale —
+		// both mean "re-query and continue", not failure.
+		return false, nil
+	default:
+		return false, wireError("blob upload", resp.StatusCode, readErrBody(resp))
+	}
+}
+
+// announceRun POSTs the run for reduction, retrying transient failures.
+// Announce is idempotent on the collector, so a retry after a lost
+// response cannot double-fold.
+func (p *Pusher) announceRun(index int, digest string) error {
+	body, err := json.Marshal(PushRun{Scenario: p.cfg.Scenario, Index: index, Digest: digest})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.cfg.Obs.Counter("fleetsync/retries").Add(1)
+			p.sleep(backoff(p.cfg.BackoffBase, p.cfg.BackoffMax, digest+"/announce", attempt))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.BaseURL+BasePath+"/runs", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := p.client.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		var res PushResult
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&res)
+		drain(resp)
+		cancel()
+		switch {
+		case resp.StatusCode == http.StatusOK && decErr == nil:
+			return nil
+		case resp.StatusCode == http.StatusConflict, resp.StatusCode == http.StatusUnprocessableEntity:
+			// Scenario mismatch or validation failure: retrying the same
+			// bytes cannot succeed.
+			return wireError("announce", resp.StatusCode, "run rejected by collector")
+		default:
+			lastErr = wireError("announce", resp.StatusCode, "")
+		}
+	}
+	return fmt.Errorf("announce of run %d failed after %d attempts: %w", index, p.cfg.MaxAttempts, lastErr)
+}
+
+// Status pulls the collector's sync manifest — what it holds already —
+// so a restarted worker can skip runs that made it through before the
+// crash.
+func (p *Pusher) Status() (SyncManifest, error) {
+	var man SyncManifest
+	var lastErr error
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.cfg.Obs.Counter("fleetsync/retries").Add(1)
+			p.sleep(backoff(p.cfg.BackoffBase, p.cfg.BackoffMax, "status", attempt))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.cfg.BaseURL+BasePath+"/status", nil)
+		if err != nil {
+			cancel()
+			return man, err
+		}
+		resp, err := p.client.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&man)
+		drain(resp)
+		cancel()
+		if resp.StatusCode == http.StatusOK && decErr == nil {
+			if man.Scenario != p.cfg.Scenario {
+				return man, fmt.Errorf("fleetsync: collector is reducing scenario %s, not ours", man.Scenario)
+			}
+			return man, nil
+		}
+		lastErr = wireError("status", resp.StatusCode, "")
+	}
+	return man, fmt.Errorf("status failed after %d attempts: %w", p.cfg.MaxAttempts, lastErr)
+}
+
+// PullRun downloads and verifies one committed artifact by digest — the
+// pull half of the protocol.
+func (p *Pusher) PullRun(digest string) (Artifact, error) {
+	if !validDigest(digest) {
+		return Artifact{}, fmt.Errorf("fleetsync: bad digest %q", digest)
+	}
+	var lastErr error
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.cfg.Obs.Counter("fleetsync/retries").Add(1)
+			p.sleep(backoff(p.cfg.BackoffBase, p.cfg.BackoffMax, digest+"/pull", attempt))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.blobURL(digest), nil)
+		if err != nil {
+			cancel()
+			return Artifact{}, err
+		}
+		resp, err := p.client.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		data, readErr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		drain(resp)
+		cancel()
+		if resp.StatusCode != http.StatusOK || readErr != nil {
+			lastErr = wireError("pull", resp.StatusCode, "")
+			continue
+		}
+		if Digest(data) != digest {
+			// The wire mangled it; the collector's copy is verified, so
+			// retry.
+			lastErr = fmt.Errorf("%w (pulled blob %s)", ErrDigestMismatch, digest)
+			continue
+		}
+		return DecodeArtifact(data)
+	}
+	return Artifact{}, fmt.Errorf("pull %s failed after %d attempts: %w", digest, p.cfg.MaxAttempts, lastErr)
+}
+
+func (p *Pusher) blobURL(digest string) string {
+	return strings.TrimSuffix(p.cfg.BaseURL, "/") + BasePath + "/blobs/" + digest
+}
+
+// backoff computes the wait before the given retry attempt: exponential
+// in the attempt number, capped, with ±25% deterministic jitter keyed by
+// (key, attempt) — workers retrying the same outage spread out without
+// any shared randomness, and a given retry schedule is reproducible.
+func backoff(base, max time.Duration, key string, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	h := splitmix64(uint64(attempt)*0x9e3779b97f4a7c15 + hashString(key))
+	// frac in [0.75, 1.25)
+	frac := 0.75 + float64(h>>11)/float64(1<<53)/2
+	return time.Duration(float64(d) * frac)
+}
+
+// hashString is FNV-1a, inlined so the hot retry path needs no allocs.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the finalizer used across the repo for positional
+// randomness (see internal/ue); here it whitens the jitter key.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// drain discards the remainder of a response body and closes it, keeping
+// the connection reusable. Read-only close: the error is unactionable.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}
+
+func readErrBody(resp *http.Response) string {
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	if err != nil {
+		return resp.Status
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -1,0 +1,330 @@
+package fleetsync
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/nuwins/cellwheels/internal/fleet"
+	"github.com/nuwins/cellwheels/internal/obs"
+)
+
+// Collector is the receiving half of a distributed fleet: an HTTP server
+// state machine that accepts content-addressed run artifacts from
+// workers, verifies each one by digest, validates it against the
+// scenario's positional run matrix, and streams it through a
+// fleet.Reducer. When every expected run has arrived, Done is closed and
+// Result reads out statistics byte-identical to a single-process fleet.
+//
+// All mutable state is guarded by one mutex; handlers run on net/http's
+// goroutines. The reduction itself is slot-addressed, so whatever order
+// pushes arrive in — including interleaved workers and retried
+// duplicates — cannot show in the output.
+type Collector struct {
+	scenario string
+	store    *Store
+	obs      *obs.Recorder
+
+	mu      sync.Mutex
+	reducer *fleet.Reducer
+	have    []HaveRun // accepted runs in acceptance order; sorted on read
+	version int
+	// manifestDirty marks a fold whose sync-manifest archive failed; the
+	// next announce (usually the worker's retry, landing as a duplicate)
+	// retries the persist.
+	manifestDirty bool
+	done          chan struct{}
+}
+
+// NewCollector builds a collector for one scenario. scenario is the
+// fingerprint both sides must present (cmd/fleetrun uses the sha256 of
+// the scenario file's bytes); reducer expects the scenario's full run
+// matrix; store persists artifacts and sync-manifest versions. rec may
+// be nil.
+func NewCollector(scenario string, reducer *fleet.Reducer, store *Store, rec *obs.Recorder) (*Collector, error) {
+	if scenario == "" {
+		return nil, errors.New("fleetsync: collector needs a scenario fingerprint")
+	}
+	if reducer == nil || store == nil {
+		return nil, errors.New("fleetsync: collector needs a reducer and a store")
+	}
+	c := &Collector{
+		scenario: scenario,
+		store:    store,
+		obs:      rec,
+		reducer:  reducer,
+		done:     make(chan struct{}),
+	}
+	if reducer.Complete() {
+		close(c.done)
+	}
+	return c, nil
+}
+
+// Done is closed once every expected run has been received and folded.
+func (c *Collector) Done() <-chan struct{} { return c.done }
+
+// Complete reports whether the reduction has every expected run.
+func (c *Collector) Complete() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reducer.Complete()
+}
+
+// Result reads the reduction out. Callers normally wait for Done first;
+// an early read is a valid partial fold (missing runs' slots are empty).
+func (c *Collector) Result() *fleet.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reducer.Result()
+}
+
+// Manifest snapshots the collector's sync state.
+func (c *Collector) Manifest() SyncManifest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.manifestLocked()
+}
+
+func (c *Collector) manifestLocked() SyncManifest {
+	have := make([]HaveRun, len(c.have))
+	copy(have, c.have)
+	// Acceptance order is arrival order; the manifest's public shape is
+	// index order (indexes are unique, so the sort is total).
+	sort.SliceStable(have, func(i, j int) bool { return have[i].Index < have[j].Index })
+	man := SyncManifest{
+		Schema:   SyncSchema,
+		Scenario: c.scenario,
+		Version:  c.version,
+		Total:    c.reducer.Total(),
+		Received: c.reducer.Received(),
+		Have:     have,
+	}
+	man.Failed = c.reducer.Result().Manifest.Failed
+	return man
+}
+
+// Handler returns the collector's HTTP interface, rooted at BasePath.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(BasePath+"/status", c.handleStatus)
+	mux.HandleFunc(BasePath+"/blobs/", c.handleBlob)
+	mux.HandleFunc(BasePath+"/runs", c.handleRuns)
+	return mux
+}
+
+func (c *Collector) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Manifest())
+}
+
+func (c *Collector) handleBlob(w http.ResponseWriter, r *http.Request) {
+	digest := strings.TrimPrefix(r.URL.Path, BasePath+"/blobs/")
+	if !validDigest(digest) {
+		http.Error(w, "bad blob digest", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodHead:
+		c.blobStatus(w, digest)
+	case http.MethodGet:
+		c.serveBlob(w, digest)
+	case http.MethodPut:
+		c.receiveBlob(w, r, digest)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// blobStatus answers "how much of this blob do you have?" — the resume
+// query. Committed blobs report their full size and Complete: 1.
+func (c *Collector) blobStatus(w http.ResponseWriter, digest string) {
+	if data, err := c.store.Get(digest); err == nil {
+		w.Header().Set(HeaderReceived, strconv.Itoa(len(data)))
+		w.Header().Set(HeaderComplete, "1")
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set(HeaderReceived, strconv.FormatInt(c.store.StagedSize(digest), 10))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Collector) serveBlob(w http.ResponseWriter, digest string) {
+	data, err := c.store.Get(digest)
+	if err != nil {
+		http.Error(w, "blob not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	if _, err := w.Write(data); err != nil {
+		return // client went away; nothing to clean up
+	}
+}
+
+// receiveBlob accepts one slice of an upload. The offset must match the
+// staged size (otherwise 409 with the real resume point); when the
+// staged file reaches the declared total it is digest-verified and
+// committed, or discarded with 422 — a corrupt upload never enters the
+// blobs directory.
+func (c *Collector) receiveBlob(w http.ResponseWriter, r *http.Request, digest string) {
+	if c.store.Has(digest) {
+		// Already committed: idempotent success, drop the body.
+		w.Header().Set(HeaderComplete, "1")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	offset, err := strconv.ParseInt(r.Header.Get(HeaderOffset), 10, 64)
+	if err != nil || offset < 0 {
+		http.Error(w, "bad "+HeaderOffset, http.StatusBadRequest)
+		return
+	}
+	size, err := strconv.ParseInt(r.Header.Get(HeaderSize), 10, 64)
+	if err != nil || size <= 0 || offset > size {
+		http.Error(w, "bad "+HeaderSize, http.StatusBadRequest)
+		return
+	}
+	// Serialize uploads of the same blob; concurrent distinct blobs only
+	// contend briefly. (Uploads are small; a per-digest lock would be
+	// overkill at fleet-artifact sizes.)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	staged, err := c.store.AppendStaged(digest, offset, io.LimitReader(r.Body, size-offset))
+	if err != nil {
+		// Offset mismatch (a racing or restarted worker): tell the
+		// client where to resume. Mid-body read errors keep what
+		// arrived; the client re-HEADs and resumes from there.
+		w.Header().Set(HeaderReceived, strconv.FormatInt(c.store.StagedSize(digest), 10))
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if staged < size {
+		w.Header().Set(HeaderReceived, strconv.FormatInt(staged, 10))
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	if err := c.store.CommitStaged(digest); err != nil {
+		if errors.Is(err, ErrDigestMismatch) {
+			c.obs.Counter("fleetsync/digest_rejects").Add(1)
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set(HeaderComplete, "1")
+	w.WriteHeader(http.StatusCreated)
+}
+
+// handleRuns folds an announced, already-uploaded artifact into the
+// reduction. Every safety check happens here: scenario fingerprint,
+// stored-blob digest, artifact/announce agreement, and the reducer's own
+// positional validation (cell, replicate, seed). Announcing a folded run
+// again is a duplicate no-op, so workers can retry blindly.
+func (c *Collector) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req PushRun
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad announce body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Scenario != c.scenario {
+		http.Error(w, fmt.Sprintf("scenario mismatch: collector is reducing %s", c.scenario), http.StatusConflict)
+		return
+	}
+	if !validDigest(req.Digest) {
+		http.Error(w, "bad blob digest", http.StatusBadRequest)
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reducer.Seen(req.Index) {
+		if c.manifestDirty {
+			if err := c.persistManifestLocked(); err != nil {
+				http.Error(w, "persist sync manifest: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+			c.manifestDirty = false
+		}
+		writeJSON(w, http.StatusOK, PushResult{
+			Status: PushDuplicate, Received: c.reducer.Received(), Total: c.reducer.Total(),
+		})
+		return
+	}
+	data, err := c.store.Get(req.Digest)
+	if err != nil {
+		if errors.Is(err, ErrDigestMismatch) {
+			c.obs.Counter("fleetsync/digest_rejects").Add(1)
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		http.Error(w, "artifact not uploaded: "+req.Digest, http.StatusNotFound)
+		return
+	}
+	art, err := DecodeArtifact(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if art.Record.Index != req.Index {
+		http.Error(w, fmt.Sprintf("artifact is run %d, announce says %d", art.Record.Index, req.Index), http.StatusUnprocessableEntity)
+		return
+	}
+	if err := c.reducer.Fold(art.Record, art.Metrics); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	c.version++
+	c.have = append(c.have, HaveRun{Index: req.Index, Digest: req.Digest})
+	c.obs.Counter("fleetsync/runs_received").Add(1)
+	if c.reducer.Complete() {
+		close(c.done)
+	}
+	if err := c.persistManifestLocked(); err != nil {
+		// The fold is kept — it cannot be undone — and the archive retry
+		// rides on the worker's announce retry, which lands as a
+		// duplicate and re-persists.
+		c.manifestDirty = true
+		http.Error(w, "persist sync manifest: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	c.manifestDirty = false
+	writeJSON(w, http.StatusOK, PushResult{
+		Status: PushAccepted, Received: c.reducer.Received(), Total: c.reducer.Total(),
+	})
+}
+
+// persistManifestLocked archives the current sync-manifest version.
+func (c *Collector) persistManifestLocked() error {
+	data, err := json.MarshalIndent(c.manifestLocked(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return c.store.WriteManifestVersion(c.version, append(data, '\n'))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write(data); err != nil {
+		return // client went away
+	}
+}

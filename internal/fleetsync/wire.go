@@ -1,0 +1,110 @@
+// Package fleetsync distributes a fleet across machines: workers execute
+// disjoint subsets of a scenario's sweep cells and push each finished
+// run's artifact to a collector over HTTP; the collector verifies every
+// artifact by content digest and streams it through the same
+// slot-addressed reduction (fleet.Reducer) a single-process fleet uses —
+// so the merged report and fleet manifest are byte-identical to running
+// the whole scenario in one process, whatever the workers, network
+// faults, or arrival order did.
+//
+// The wire protocol is a minimal content-addressed push/pull, in the
+// shape of qri's logbook/logsync exchange:
+//
+//	GET  {base}/status          → SyncManifest (what the collector has)
+//	HEAD {base}/blobs/{digest}  → staged/committed byte counts, for resume
+//	PUT  {base}/blobs/{digest}  → upload artifact bytes from an offset
+//	GET  {base}/blobs/{digest}  → download a committed artifact (pull)
+//	POST {base}/runs            → announce an uploaded run for reduction
+//
+// Artifacts are immutable and named by the sha256 of their canonical
+// bytes, so every transfer is verifiable at the receiver: a blob whose
+// bytes do not hash to its name is rejected and discarded, never stored.
+// Uploads are resumable — a worker that crashes (or loses the network)
+// mid-push re-queries the staged size and continues from there — and
+// every announced run is validated against the scenario's positional run
+// matrix before it is folded, so a confused worker cannot corrupt the
+// reduction. Pushes are idempotent: re-announcing a folded run is a
+// no-op, which is what makes blind worker retries safe.
+package fleetsync
+
+import "fmt"
+
+// SyncSchema versions the wire protocol and the sync manifest layout.
+const SyncSchema = 1
+
+// BasePath prefixes every fleetsync route.
+const BasePath = "/fleetsync/v1"
+
+// Custom headers of the blob upload protocol. All values are decimal
+// byte counts.
+const (
+	// HeaderOffset is the position in the blob a PUT's body starts at;
+	// it must equal the collector's currently staged size.
+	HeaderOffset = "X-Fleetsync-Offset"
+	// HeaderSize is the blob's total size, declared on every PUT so the
+	// collector knows when the staging file is complete.
+	HeaderSize = "X-Fleetsync-Size"
+	// HeaderReceived reports how many bytes the collector holds for the
+	// blob (staged, or total when committed) on HEAD and conflict
+	// responses — the resume point.
+	HeaderReceived = "X-Fleetsync-Received"
+	// HeaderComplete is "1" when the blob is committed to the store.
+	HeaderComplete = "X-Fleetsync-Complete"
+)
+
+// SyncManifest is the collector's versioned statement of what it holds:
+// which runs of the scenario's matrix have been received and folded. The
+// version increments on every accepted run, and each version is archived
+// in the collector's store, so the sync state has an inspectable history.
+type SyncManifest struct {
+	Schema int `json:"schema"`
+	// Scenario fingerprints the scenario document both sides must agree
+	// on; pushes for any other scenario are rejected.
+	Scenario string `json:"scenario"`
+	// Version counts accepted runs, from 0 (empty collector).
+	Version int `json:"version"`
+	// Total is the size of the expected run matrix; Received of those
+	// have been folded, Failed of the received runs failed on their
+	// worker.
+	Total    int `json:"total"`
+	Received int `json:"received"`
+	Failed   int `json:"failed"`
+	// Have lists the folded runs' full-matrix indexes, ascending, with
+	// the digest of each run's artifact — the content-addressed record a
+	// worker (or a re-synced collector) pulls runs back out by.
+	Have []HaveRun `json:"have"`
+}
+
+// HaveRun names one folded run and its artifact digest.
+type HaveRun struct {
+	Index  int    `json:"index"`
+	Digest string `json:"digest"`
+}
+
+// PushRun announces one uploaded artifact for reduction.
+type PushRun struct {
+	Scenario string `json:"scenario"`
+	Index    int    `json:"index"`
+	Digest   string `json:"digest"`
+}
+
+// PushRun response statuses.
+const (
+	// PushAccepted: the run was verified and folded.
+	PushAccepted = "accepted"
+	// PushDuplicate: the run was already folded; the announce was a
+	// no-op. Idempotent retries land here.
+	PushDuplicate = "duplicate"
+)
+
+// PushResult is the collector's answer to a PushRun.
+type PushResult struct {
+	Status   string `json:"status"`
+	Received int    `json:"received"`
+	Total    int    `json:"total"`
+}
+
+// wireError renders protocol failures consistently.
+func wireError(op string, code int, detail string) error {
+	return fmt.Errorf("fleetsync: %s: HTTP %d: %s", op, code, detail)
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"github.com/nuwins/cellwheels/internal/atomicio"
 )
 
 // Baselines let a new rule land strict on new code while known findings
@@ -66,13 +68,14 @@ func NewBaseline(diags []Diagnostic) Baseline {
 	return b
 }
 
-// WriteBaseline writes b to path.
+// WriteBaseline writes b to path atomically: a failed write leaves the
+// previous baseline intact instead of a truncated ratchet file.
 func WriteBaseline(path string, b Baseline) error {
 	out, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return atomicio.WriteFileBytes(path, 0o644, append(out, '\n'))
 }
 
 // LoadBaseline reads a baseline file.

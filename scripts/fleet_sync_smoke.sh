@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# fleet-sync-smoke: a distributed fleet over loopback through the real
+# fleetrun binary — one -serve collector fed by two -push workers, each
+# running one sweep cell — diffed byte-for-byte against a single-process
+# run of the same scenario. This is the CI pin of the fleetsync
+# determinism contract on real processes and a real TCP socket.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scenario=testdata/fleet-sync-smoke.json
+out=fleet-sync-out
+rm -rf "$out"
+mkdir -p "$out"
+
+go build -o "$out/fleetrun" ./cmd/fleetrun
+
+echo "fleet-sync-smoke: single-process baseline" >&2
+"$out/fleetrun" -scenario "$scenario" -workers 2 -out "$out/single" >/dev/null
+
+echo "fleet-sync-smoke: collector + 2 workers" >&2
+"$out/fleetrun" -scenario "$scenario" -serve 127.0.0.1:0 -out "$out/collector" >/dev/null &
+collector=$!
+trap 'kill "$collector" 2>/dev/null || true' EXIT
+
+# The collector publishes its bound address (it was started on port 0)
+# once the listener is live.
+addr_file="$out/collector/fleetsync-addr.txt"
+for _ in $(seq 1 100); do
+  [ -s "$addr_file" ] && break
+  sleep 0.1
+done
+[ -s "$addr_file" ] || { echo "fleet-sync-smoke: collector never published its address" >&2; exit 1; }
+url="http://$(cat "$addr_file")"
+
+"$out/fleetrun" -scenario "$scenario" -push "$url" -cells 0
+"$out/fleetrun" -scenario "$scenario" -push "$url" -cells 1
+
+# The collector exits on its own once every expected run has arrived.
+wait "$collector"
+trap - EXIT
+
+diff "$out/single/fleet-report.txt" "$out/collector/fleet-report.txt"
+diff "$out/single/fleet-manifest.json" "$out/collector/fleet-manifest.json"
+echo "fleet-sync-smoke: distributed output is byte-identical to the single-process run"
