@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-manifest bench-check lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke fleet-sync-smoke crowd-smoke ci
+.PHONY: build test race vet bench bench-manifest bench-check lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke fleet-sync-smoke crowd-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,15 @@ fleet-sync-smoke:
 crowd-smoke:
 	$(GO) run ./cmd/drivetest -seed 1 -limit-km 10 -crowd 10000 -crowd-samples 4 -load-model demand -skip-apps -out crowd-dataset.json -metrics crowd-manifest.json
 
+# serve-smoke runs the wheelsd daemon end to end over loopback: a
+# campaign job, a fleet job, and a collect job (fed by real fleetrun
+# -push workers through the daemon's /fleetsync/v1 mount) are submitted
+# via curl and their downloaded artifacts byte-diffed against direct
+# drivetest/fleetrun runs; a final SIGTERM mid-job pins the graceful
+# drain. serve-out/wheelsd-manifest.json is the CI artifact.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # lint-sarif runs before the lint gates so the artifact exists for CI
 # upload even when lint fails the build.
-ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke fleet-sync-smoke crowd-smoke bench-check
+ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke fleet-sync-smoke crowd-smoke serve-smoke bench-check

@@ -48,9 +48,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/nuwins/cellwheels"
@@ -147,6 +149,9 @@ func realMain(args []string) int {
 
 // runCollector is -serve: an HTTP collector that reduces runs pushed by
 // workers, then writes the same outputs a single-process fleet would.
+// SIGINT/SIGTERM finalizes early: the partial fold — the report over
+// received runs plus the manifest — is still written before exiting
+// nonzero, so an interrupted collection never loses what arrived.
 func runCollector(cfg cellwheels.FleetConfig, rec *obs.Recorder, addr, out, metricsPath, fingerprint string) int {
 	red, err := cellwheels.FleetReducer(cfg)
 	if err != nil {
@@ -172,19 +177,28 @@ func runCollector(cfg cellwheels.FleetConfig, rec *obs.Recorder, addr, out, metr
 	}); err != nil {
 		return fail(err)
 	}
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srv := &http.Server{Handler: col.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "fleetsync collector for scenario %s listening on %s (%d runs expected)\n",
 		fingerprint[:12], ln.Addr(), red.Total())
 
+	interrupted := false
 	select {
 	case <-col.Done():
+	case <-sigCtx.Done():
+		interrupted = true
+		fmt.Fprintln(os.Stderr, "fleetrun: signal received; writing partial fleet outputs")
 	case err := <-serveErr:
 		return fail(err)
 	}
-	// Graceful stop: the announce that completed the fleet still needs
-	// its response written.
+	stop() // a second signal kills immediately instead of waiting the drain out
+	// Graceful stop: the announce that completed the fleet — or was
+	// in flight when the signal landed — still needs its response
+	// written before the fold is read out.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -195,8 +209,17 @@ func runCollector(cfg cellwheels.FleetConfig, rec *obs.Recorder, addr, out, metr
 	fmt.Fprintf(os.Stderr, "fleet collected in %v: %d runs, %d failed\n",
 		//lint:allow timetaint — stderr banner timing only; never reaches the report or manifest
 		rec.Elapsed().Round(time.Millisecond), len(res.Manifest.Runs), res.Manifest.Failed)
-	return writeOutputs(out, metricsPath, rec, res.Report(), res.Manifest.WriteJSON,
+	code := writeOutputs(out, metricsPath, rec, res.Report(), res.Manifest.WriteJSON,
 		len(res.Manifest.Runs), res.Manifest.Failed)
+	if interrupted && !col.Complete() {
+		man := col.Manifest()
+		fmt.Fprintf(os.Stderr, "fleetrun: interrupted with %d of %d runs collected (partial outputs in %s/)\n",
+			man.Received, man.Total, out)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
 }
 
 // runWorker is -push: execute the worker's cell subset and sync every

@@ -124,6 +124,34 @@ func (r *FleetResult) WriteManifest(w io.Writer) error {
 	return r.res.Manifest.WriteJSON(w)
 }
 
+// Validate rejects malformed scenarios — bad sweeps, unknown override
+// fields, type-mismatched values, an unsupported base config — without
+// running anything: the same early checks RunFleet performs before any
+// campaign starts. Services use it to refuse a bad job at submission.
+func (cfg FleetConfig) Validate() error {
+	base := cfg.Base
+	base.Seed = 0
+	base.Obs = nil
+	base.SharedTimeline = nil
+	if err := base.Validate(); err != nil {
+		return err
+	}
+	axes := make([]fleet.Axis, len(cfg.Sweep))
+	for i, a := range cfg.Sweep {
+		axes[i] = fleet.Axis{Field: a.Field, Values: a.Values}
+	}
+	cells, err := fleet.Expand(axes)
+	if err != nil {
+		return fmt.Errorf("cellwheels: fleet: %w", err)
+	}
+	for _, cell := range cells {
+		if _, err := applyFleetOverrides(base, cell.Overrides); err != nil {
+			return fmt.Errorf("cellwheels: fleet: cell %s: %w", cell.Label(), err)
+		}
+	}
+	return nil
+}
+
 // RunFleet executes many campaigns as one deterministic job: the sweep
 // grid times the replicate count is expanded into a run matrix, each run
 // executes Run with its derived seed and overridden config, and finished
@@ -135,6 +163,10 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	base := cfg.Base
 	base.Seed = 0
 	base.Obs = nil
+	// A precomputed timeline is seed-specific and fleet runs fork their
+	// own seeds, so a base timeline could never match; drop it rather
+	// than fail every run on the fingerprint guard.
+	base.SharedTimeline = nil
 
 	axes := make([]fleet.Axis, len(cfg.Sweep))
 	for i, a := range cfg.Sweep {

@@ -115,6 +115,16 @@ type Config struct {
 	// read from it ever feeds a simulation decision — so a nil value (the
 	// default) and any non-nil value produce byte-identical datasets.
 	Obs *obs.Recorder
+
+	// SharedTimeline, when non-nil, is a drive schedule precomputed by
+	// PrecomputeTimeline for an identical config; NewCampaign replays it
+	// instead of building its own. Timeline replay is stateless — every
+	// cursor forks the same named stream — so any number of concurrent
+	// campaigns can share one, and because simrand forks are positional
+	// (path-named, never draw-ordered) the shared schedule is
+	// byte-identical to a freshly built one. Callers are responsible for
+	// matching configs; the cellwheels facade enforces it by fingerprint.
+	SharedTimeline *geo.Timeline
 }
 
 func (c *Config) applyDefaults() {
@@ -235,6 +245,27 @@ type Campaign struct {
 	timeline *geo.Timeline
 }
 
+// PrecomputeTimeline builds the drive schedule NewCampaign would build
+// for cfg, without building anything else. The timeline is a pure
+// function of (route, drive config, seed, tick, limit, hold rule): its
+// cursors fork the "drive" stream positionally off a fresh root, so a
+// timeline precomputed here and injected via Config.SharedTimeline
+// replays byte-identically to one built inside NewCampaign. This is the
+// cacheable half of campaign construction — wheelsd shares one across
+// every concurrent job with the same config hash.
+func PrecomputeTimeline(cfg Config) *geo.Timeline {
+	cfg.applyDefaults()
+	var hold geo.HoldRule
+	if !cfg.SkipStatic {
+		hold = geo.HoldRule{MaxCityDistance: staticCityRadius, Budget: cfg.staticHoldBudget()}
+	}
+	return geo.NewTimeline(geo.DefaultRoute(), cfg.Drive, simrand.New(cfg.Seed), geo.TimelineConfig{
+		Tick:  Tick,
+		Limit: cfg.Limit,
+		Hold:  hold,
+	})
+}
+
 // NewCampaign builds the testbed for a config.
 func NewCampaign(cfg Config) *Campaign {
 	cfg.applyDefaults()
@@ -252,21 +283,17 @@ func NewCampaign(cfg Config) *Campaign {
 		fleet = clouds
 	}
 
-	var hold geo.HoldRule
-	if !cfg.SkipStatic {
-		hold = geo.HoldRule{MaxCityDistance: staticCityRadius, Budget: cfg.staticHoldBudget()}
+	timeline := cfg.SharedTimeline
+	if timeline == nil {
+		timeline = PrecomputeTimeline(cfg)
 	}
 
 	c := &Campaign{
-		cfg:   cfg,
-		route: route,
-		maps:  map[radio.Operator]*deploy.Map{},
-		fleet: fleet,
-		timeline: geo.NewTimeline(route, cfg.Drive, rng, geo.TimelineConfig{
-			Tick:  Tick,
-			Limit: cfg.Limit,
-			Hold:  hold,
-		}),
+		cfg:      cfg,
+		route:    route,
+		maps:     map[radio.Operator]*deploy.Map{},
+		fleet:    fleet,
+		timeline: timeline,
 	}
 	for _, op := range cfg.Operators {
 		m := deploy.NewMap(op, route, rng)

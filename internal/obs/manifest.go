@@ -34,42 +34,27 @@ type Manifest struct {
 }
 
 // Manifest snapshots the registry. Callable at any point; typically once,
-// after the dataset is written.
+// after the dataset is written. The metric sections are exactly
+// Snapshot's — the manifest only adds the run-level wrapper facts
+// (schema, Go version, GOMAXPROCS, wall clock).
 func (r *Recorder) Manifest() Manifest {
 	if r == nil {
 		return Manifest{Schema: ManifestSchema}
 	}
 	wall := time.Since(r.start)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m := Manifest{
+	snap := r.Snapshot()
+	return Manifest{
 		Schema:     ManifestSchema,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		StartUTC:   r.startWall,
 		WallMS:     float64(wall) / float64(time.Millisecond),
-		Labels:     map[string]string{},
-		PhaseMS:    map[string]float64{},
-		Counters:   map[string]int64{},
-		Gauges:     map[string]float64{},
-		Histograms: map[string]HistogramSnapshot{},
+		Labels:     snap.Labels,
+		PhaseMS:    snap.PhaseMS,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
 	}
-	for k, v := range r.labels {
-		m.Labels[k] = v
-	}
-	for k, d := range r.phases {
-		m.PhaseMS[k] = float64(d) / float64(time.Millisecond)
-	}
-	for k, c := range r.counters {
-		m.Counters[k] = c.Value()
-	}
-	for k, g := range r.gauges {
-		m.Gauges[k] = g.Value()
-	}
-	for k, h := range r.hists {
-		m.Histograms[k] = h.snapshot()
-	}
-	return m
 }
 
 // WriteManifest serializes the manifest as indented JSON.

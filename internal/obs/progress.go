@@ -105,13 +105,16 @@ func (p *progressLoop) run(r *Recorder, info ProgressInfo) {
 //	obs: ... | eta 12s | crowd 99.2k att 1.3M ev/s
 func (p *progressLoop) report(r *Recorder, info ProgressInfo, begin time.Time, lastTicks, lastEvents *int64, lastAt *time.Time) {
 	now := time.Now()
+	// One consistent read of the registry per status line — the same
+	// read-only view the manifest and the wheelsd progress endpoint use.
+	snap := r.Snapshot()
 	minTicks := int64(-1)
 	minOdo := 0.0
 	var sumTicks, sumEvents int64
 	attached := 0.0
 	for i, lane := range info.Lanes {
-		t := r.Counter("lane/" + lane + "/ticks").Value()
-		odo := r.Gauge("lane/" + lane + "/odometer_km").Value()
+		t := snap.Counters["lane/"+lane+"/ticks"]
+		odo := snap.Gauges["lane/"+lane+"/odometer_km"]
 		sumTicks += t
 		if i == 0 || t < minTicks {
 			minTicks = t
@@ -120,8 +123,8 @@ func (p *progressLoop) report(r *Recorder, info ProgressInfo, begin time.Time, l
 			minOdo = odo
 		}
 		if info.Crowd {
-			sumEvents += r.Counter("crowd/" + lane + "/events").Value()
-			attached += r.Gauge("crowd/" + lane + "/attached").Value()
+			sumEvents += snap.Counters["crowd/"+lane+"/events"]
+			attached += snap.Gauges["crowd/"+lane+"/attached"]
 		}
 	}
 	if minTicks < 0 {

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"sync"
+
+	"github.com/nuwins/cellwheels"
+	"github.com/nuwins/cellwheels/internal/obs"
+)
+
+// timelineCache shares precomputed drive schedules between jobs. Keys
+// are Obs-free config fingerprints (cellwheels.Config.Fingerprint), so a
+// hit is guaranteed valid: equal fingerprints mean an identical route
+// scan. Two properties matter for a daemon:
+//
+//   - single-flight construction: concurrent requests for the same key
+//     trigger exactly one PrecomputeTimeline; the rest block on the
+//     builder's ready channel and share its result.
+//   - bounded memory: at most capacity entries are retained, evicted in
+//     least-recently-used order, so a daemon fed a stream of distinct
+//     configs cannot grow without bound.
+//
+// Failed builds are never cached — the error is returned to every waiter
+// of that flight and the key is removed, so a transient failure does not
+// poison the cache.
+type timelineCache struct {
+	capacity int
+	build    func(cellwheels.Config) (*cellwheels.Timeline, error)
+	obs      *obs.Recorder
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	clock   int64 // LRU clock; bumped on every touch
+}
+
+// cacheEntry is one cached (or in-flight) timeline build.
+type cacheEntry struct {
+	ready   chan struct{} // closed when tl/err are set
+	tl      *cellwheels.Timeline
+	err     error
+	lastUse int64
+}
+
+// newTimelineCache builds a cache; capacity values below 1 mean 1.
+// build defaults to cellwheels.PrecomputeTimeline (tests inject a
+// counting stub).
+func newTimelineCache(capacity int, rec *obs.Recorder, build func(cellwheels.Config) (*cellwheels.Timeline, error)) *timelineCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if build == nil {
+		build = cellwheels.PrecomputeTimeline
+	}
+	return &timelineCache{
+		capacity: capacity,
+		build:    build,
+		obs:      rec,
+		entries:  map[string]*cacheEntry{},
+	}
+}
+
+// get returns the timeline for key, building it (once) from cfg on a
+// miss. cfg must be the config key fingerprints; callers pass it with
+// side channels cleared.
+func (c *timelineCache) get(key string, cfg cellwheels.Config) (*cellwheels.Timeline, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.clock++
+		e.lastUse = c.clock
+		c.mu.Unlock()
+		c.obs.Counter("serve/timeline/hits").Add(1)
+		<-e.ready
+		return e.tl, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.clock++
+	e.lastUse = c.clock
+	c.entries[key] = e
+	c.evictLocked(e)
+	c.mu.Unlock()
+
+	c.obs.Counter("serve/timeline/misses").Add(1)
+	tl, err := c.build(cfg)
+	e.tl, e.err = tl, err
+	close(e.ready)
+	if err != nil {
+		c.mu.Lock()
+		// Only remove our own failed flight; the key may have been
+		// evicted and rebuilt meanwhile.
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	} else {
+		c.obs.Counter("serve/timeline/builds").Add(1)
+	}
+	return tl, err
+}
+
+// evictLocked drops least-recently-used entries until the cache fits its
+// capacity, never evicting keep (the entry the caller just inserted).
+// In-flight entries can be evicted: their waiters already hold the entry
+// pointer and still receive the result; the cache just forgets it.
+func (c *timelineCache) evictLocked(keep *cacheEntry) {
+	for len(c.entries) > c.capacity {
+		var oldestKey string
+		var oldest *cacheEntry
+		for k, e := range c.entries {
+			if e == keep {
+				continue
+			}
+			if oldest == nil || e.lastUse < oldest.lastUse {
+				oldestKey, oldest = k, e
+			}
+		}
+		if oldest == nil {
+			return
+		}
+		delete(c.entries, oldestKey)
+		c.obs.Counter("serve/timeline/evictions").Add(1)
+	}
+}
+
+// len reports the number of retained entries (tests).
+func (c *timelineCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

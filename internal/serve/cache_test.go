@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/nuwins/cellwheels"
+	"github.com/nuwins/cellwheels/internal/obs"
+)
+
+// countingBuild is an injectable timeline builder that counts real
+// builds and hands out distinct Timeline pointers per call.
+func countingBuild(calls *atomic.Int64, delay time.Duration, fail func(cellwheels.Config) error) func(cellwheels.Config) (*cellwheels.Timeline, error) {
+	return func(cfg cellwheels.Config) (*cellwheels.Timeline, error) {
+		calls.Add(1)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if fail != nil {
+			if err := fail(cfg); err != nil {
+				return nil, err
+			}
+		}
+		return &cellwheels.Timeline{}, nil
+	}
+}
+
+// TestCacheSingleFlight: many concurrent requests for one key trigger
+// exactly one build, and every waiter receives the same timeline.
+func TestCacheSingleFlight(t *testing.T) {
+	var calls atomic.Int64
+	c := newTimelineCache(4, obs.New(), countingBuild(&calls, 30*time.Millisecond, nil))
+
+	const waiters = 12
+	got := make([]*cellwheels.Timeline, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tl, err := c.get("same-key", cellwheels.Config{})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			got[i] = tl
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("want exactly 1 build for one key, got %d", n)
+	}
+	for i := 1; i < waiters; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("waiter %d received a different timeline pointer", i)
+		}
+	}
+}
+
+// TestCacheDistinctKeys: different fingerprints never share a build or
+// a timeline.
+func TestCacheDistinctKeys(t *testing.T) {
+	var calls atomic.Int64
+	c := newTimelineCache(4, obs.New(), countingBuild(&calls, 0, nil))
+	a, err := c.get("key-a", cellwheels.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.get("key-b", cellwheels.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("want 2 builds for 2 keys, got %d", calls.Load())
+	}
+	if a == b {
+		t.Fatal("distinct keys shared one timeline")
+	}
+}
+
+// TestCacheEviction: the cache never holds more than its capacity; an
+// evicted key is rebuilt on its next use.
+func TestCacheEviction(t *testing.T) {
+	var calls atomic.Int64
+	c := newTimelineCache(2, obs.New(), countingBuild(&calls, 0, nil))
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if _, err := c.get(key, cellwheels.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		if n := c.len(); n > 2 {
+			t.Fatalf("cache holds %d entries, capacity is 2", n)
+		}
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("want 5 builds for 5 distinct keys, got %d", calls.Load())
+	}
+	// key-0 was evicted long ago: rebuild. key-4 is resident: hit.
+	if _, err := c.get("key-0", cellwheels.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 6 {
+		t.Fatalf("evicted key should rebuild (want 6 builds, got %d)", calls.Load())
+	}
+	if _, err := c.get("key-4", cellwheels.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 6 {
+		t.Fatalf("resident key should hit (want 6 builds, got %d)", calls.Load())
+	}
+}
+
+// TestCacheLRUOrder: touching an old entry protects it; the eviction
+// victim is the least recently used key, not the oldest inserted.
+func TestCacheLRUOrder(t *testing.T) {
+	var calls atomic.Int64
+	c := newTimelineCache(2, obs.New(), countingBuild(&calls, 0, nil))
+	mustGet := func(key string) {
+		t.Helper()
+		if _, err := c.get(key, cellwheels.Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet("a")
+	mustGet("b")
+	mustGet("a")         // refresh a; b is now LRU
+	mustGet("c")         // evicts b
+	calls.Store(0)
+	mustGet("a")
+	if calls.Load() != 0 {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	mustGet("b")
+	if calls.Load() != 1 {
+		t.Fatal("b should have been the eviction victim and rebuilt")
+	}
+}
+
+// TestCacheErrorNotCached: a failed build is reported to its waiters
+// but never poisons the key — the next request rebuilds.
+func TestCacheErrorNotCached(t *testing.T) {
+	var calls atomic.Int64
+	failFirst := func(cellwheels.Config) error {
+		if calls.Load() == 1 {
+			return fmt.Errorf("transient build failure")
+		}
+		return nil
+	}
+	c := newTimelineCache(4, obs.New(), countingBuild(&calls, 0, failFirst))
+	if _, err := c.get("key", cellwheels.Config{}); err == nil {
+		t.Fatal("want the injected failure")
+	}
+	tl, err := c.get("key", cellwheels.Config{})
+	if err != nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	if tl == nil {
+		t.Fatal("retry returned no timeline")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("want 2 builds (fail, then rebuild), got %d", calls.Load())
+	}
+}

@@ -1,0 +1,100 @@
+package cellwheels
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSharedTimelineByteIdentical pins the timeline-sharing contract the
+// wheelsd cache rests on: a run replaying a precomputed Timeline
+// produces the exact dataset and report bytes of a run that builds its
+// own — including when many concurrent runs share one Timeline.
+func TestSharedTimelineByteIdentical(t *testing.T) {
+	cfg := Config{Seed: 11, LimitKm: 20, VideoSeconds: 15, GamingSeconds: 10}
+
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	var wantData bytes.Buffer
+	if err := plain.WriteJSON(&wantData); err != nil {
+		t.Fatalf("plain WriteJSON: %v", err)
+	}
+	wantReport := plain.Report()
+
+	tl, err := PrecomputeTimeline(cfg)
+	if err != nil {
+		t.Fatalf("PrecomputeTimeline: %v", err)
+	}
+	if tl.Ticks() == 0 {
+		t.Fatal("precomputed timeline has no ticks")
+	}
+
+	const runs = 3
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	datasets := make([]bytes.Buffer, runs)
+	reports := make([]string, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shared := cfg
+			shared.SharedTimeline = tl
+			s, err := Run(shared)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if errs[i] = s.WriteJSON(&datasets[i]); errs[i] != nil {
+				return
+			}
+			reports[i] = s.Report()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("shared run %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(wantData.Bytes(), datasets[i].Bytes()) {
+			t.Errorf("shared run %d: dataset differs from plain run", i)
+		}
+		if wantReport != reports[i] {
+			t.Errorf("shared run %d: report differs from plain run", i)
+		}
+	}
+}
+
+// TestSharedTimelineWrongConfig: injecting a timeline precomputed for a
+// different config is rejected before any simulation state is built.
+func TestSharedTimelineWrongConfig(t *testing.T) {
+	tl, err := PrecomputeTimeline(Config{Seed: 1, LimitKm: 10})
+	if err != nil {
+		t.Fatalf("PrecomputeTimeline: %v", err)
+	}
+	_, err = Run(Config{Seed: 2, LimitKm: 10, SharedTimeline: tl})
+	if err == nil || !strings.Contains(err.Error(), "different config") {
+		t.Fatalf("want fingerprint-mismatch error, got %v", err)
+	}
+}
+
+// TestFingerprintIgnoresSideChannels: the exported Fingerprint — the
+// daemon's cache key — must not change when side channels are attached.
+func TestFingerprintIgnoresSideChannels(t *testing.T) {
+	cfg := Config{Seed: 4, LimitKm: 10}
+	base := cfg.Fingerprint()
+	tl, err := PrecomputeTimeline(cfg)
+	if err != nil {
+		t.Fatalf("PrecomputeTimeline: %v", err)
+	}
+	cfg.SharedTimeline = tl
+	if got := cfg.Fingerprint(); got != base {
+		t.Errorf("fingerprint changed with SharedTimeline attached: %s != %s", got, base)
+	}
+	if other := (Config{Seed: 5, LimitKm: 10}).Fingerprint(); other == base {
+		t.Error("different seeds share a fingerprint")
+	}
+}
