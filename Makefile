@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-manifest bench-check lint lint-baseline lint-sarif lint-fixtures smoke fleet-smoke fleet-sync-smoke crowd-smoke serve-smoke ci
+.PHONY: build test race vet bench bench-manifest bench-check lint lint-baseline lint-sarif lint-fixtures lint-inject-smoke smoke fleet-smoke fleet-sync-smoke crowd-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -55,9 +55,17 @@ lint-sarif:
 	$(GO) run ./cmd/lintwheels -format sarif -o lint.sarif ./... || true
 
 # lint-fixtures self-checks the rule corpus: every rule's testdata
-# fixtures must produce exactly the golden diagnostics.
+# fixtures must produce exactly the golden diagnostics — including the
+# concurrency/resource corpora (goleak, ctxflow, lockhold, resleak).
 lint-fixtures:
 	$(GO) test ./internal/lint/...
+
+# lint-inject-smoke proves the concurrency/resource gate end to end: a
+# file with a leaked goroutine, a ctx-less blocking call, a held lock,
+# and a leaked file is injected into internal/serve; lintwheels must
+# fail naming all four rules, and the injection is removed again.
+lint-inject-smoke:
+	./scripts/lint_inject_smoke.sh
 
 # smoke runs a short instrumented campaign end to end through the real
 # CLI: dataset + CSV export + run manifest (manifest.json is the CI
@@ -98,4 +106,4 @@ serve-smoke:
 
 # lint-sarif runs before the lint gates so the artifact exists for CI
 # upload even when lint fails the build.
-ci: vet build lint-sarif lint lint-baseline race smoke fleet-smoke fleet-sync-smoke crowd-smoke serve-smoke bench-check
+ci: vet build lint-sarif lint lint-baseline lint-inject-smoke race smoke fleet-smoke fleet-sync-smoke crowd-smoke serve-smoke bench-check

@@ -180,7 +180,12 @@ func runCollector(cfg cellwheels.FleetConfig, rec *obs.Recorder, addr, out, metr
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Handler: col.Handler()}
+	srv := &http.Server{
+		Handler: col.Handler(),
+		// A worker that stalls mid-header must not wedge the collector's
+		// shutdown drain.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "fleetsync collector for scenario %s listening on %s (%d runs expected)\n",

@@ -89,7 +89,12 @@ func realMain(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// A client that stalls mid-header would otherwise hold its
+		// connection — and the SIGTERM drain below — open forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "wheelsd listening on %s (data %s)\n", ln.Addr(), *data)

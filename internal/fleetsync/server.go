@@ -193,12 +193,19 @@ func (c *Collector) receiveBlob(w http.ResponseWriter, r *http.Request, digest s
 		http.Error(w, "bad "+HeaderSize, http.StatusBadRequest)
 		return
 	}
+	if size > MaxBlobBytes {
+		http.Error(w, "blob exceeds MaxBlobBytes", http.StatusRequestEntityTooLarge)
+		return
+	}
+	// The declared size is client-controlled; the hard cap must bind the
+	// actual body too, or a lying client streams unbounded bytes to disk.
+	body := http.MaxBytesReader(w, r.Body, size-offset)
 	// Serialize uploads of the same blob; concurrent distinct blobs only
 	// contend briefly. (Uploads are small; a per-digest lock would be
 	// overkill at fleet-artifact sizes.)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	staged, err := c.store.AppendStaged(digest, offset, io.LimitReader(r.Body, size-offset))
+	staged, err := c.store.AppendStaged(digest, offset, body)
 	if err != nil {
 		// Offset mismatch (a racing or restarted worker): tell the
 		// client where to resume. Mid-body read errors keep what

@@ -35,6 +35,12 @@ const SyncSchema = 1
 // BasePath prefixes every fleetsync route.
 const BasePath = "/fleetsync/v1"
 
+// MaxBlobBytes caps a single uploaded artifact. Run archives are a few
+// hundred KiB of gzipped CSV; 256 MiB is two orders of magnitude of
+// headroom while still bounding what one lying or broken worker can
+// write to the collector's disk.
+const MaxBlobBytes = 256 << 20
+
 // Custom headers of the blob upload protocol. All values are decimal
 // byte counts.
 const (

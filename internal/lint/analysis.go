@@ -76,6 +76,24 @@ type funcInfo struct {
 	cold    bool
 	hot     bool
 	hotWhy  string
+
+	// blocks: executing this function can block indefinitely — a channel
+	// operation, a select without default, a blocking stdlib call (HTTP
+	// round-trip, Accept, Wait), or a callee that does. blocksWhy is the
+	// provenance chain. receivesCancel: the function observes a
+	// cancellation or join signal (channel op, select, ctx.Done,
+	// WaitGroup/Cond) itself or through a callee. Both exclude code inside
+	// nested closures and go statements, which run on other goroutines or
+	// not at all (see conc.go).
+	blocks         bool
+	blocksWhy      string
+	receivesCancel bool
+
+	// concSites and concCallees are the raw material for the two bits
+	// above: direct blocking sites and resolved callees outside nested
+	// closures and go statements, in source order.
+	concSites   []blockSite
+	concCallees []*types.Func
 }
 
 // goSpawn is one `go` statement: either a closure with its captured
@@ -177,6 +195,7 @@ func Analyze(pkgs []*Package) *Analysis {
 	a.collectHotMarks()
 	a.propagate()
 	a.propagateHot()
+	a.propagateConc()
 	return a
 }
 
@@ -210,6 +229,7 @@ func (a *Analysis) collectFuncs() {
 
 	for _, fi := range a.funcs {
 		a.scanBody(fi)
+		a.scanConc(fi)
 	}
 }
 

@@ -74,6 +74,22 @@ func (g *CFG) LoopDepthAt(pos token.Pos) int {
 	return depth
 }
 
+// locate finds the block and node index anchoring n, by node identity.
+// The path-sensitive rules (lockhold, resleak) use it as the start of a
+// forward walk. Returns (nil, 0) when n is not an anchored node — e.g. a
+// statement nested inside another leaf — in which case callers stay
+// silent rather than guess.
+func (g *CFG) locate(n ast.Node) (*cfgBlock, int) {
+	for _, b := range g.blocks {
+		for i, m := range b.nodes {
+			if m == n {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
 // maxLoopDepth reports the deepest nesting anywhere in the body (tests).
 func (g *CFG) maxLoopDepth() int {
 	max := 0

@@ -1,0 +1,418 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the concurrency half of the interprocedural engine: two
+// per-function summary bits — "blocks" (executing this function can park
+// its goroutine indefinitely) and "receivesCancel" (the function observes
+// a cancellation or join signal) — plus the blocking lattice that defines
+// them. The four liveness rules are built on top:
+//
+//	goleak   — blocks && !receivesCancel at a `go` spawn
+//	ctxflow  — blocking sites in a ctx-bearing function that ignore the ctx
+//	lockhold — blocking sites on a CFG path holding a sync.(RW)Mutex
+//	resleak  — CFG paths from an acquisition to exit with no release
+//
+// The blocking lattice is deliberately small and deep-rooted: channel
+// operations (send, receive, range, select without default), HTTP round
+// trips and serves, net.Listener.Accept and net.Dial, sync.WaitGroup.Wait
+// and sync.Cond.Wait, time.Sleep. Mutex.Lock is deliberately NOT in it —
+// treating every lock as blocking would make nearly every function in a
+// concurrent package "blocking" and drown lockhold in its own cascade;
+// lock-ordering hazards are out of scope. File and pipe I/O are excluded
+// for the same reason: they complete, eventually, without a peer.
+//
+// Both bits exclude nested closures and go statements: a closure merely
+// defined (or spawned) inside f does not block f. Spawned closures get
+// their facts computed on demand by litConc for goleak. Propagation is
+// the engine's usual monotone fixed point over the call graph, with the
+// same determinism contract: callees in source order, provenance chains
+// built innermost-first.
+
+// Blocking-site kinds. Cond.Wait is separated because it atomically
+// releases its mutex while parked: it still blocks (goleak, ctxflow) but
+// is not a lock-held hazard (lockhold skips it).
+const (
+	blockKindChan = iota
+	blockKindCall
+	blockKindCondWait
+)
+
+// blockSite is one place a function can park its goroutine.
+type blockSite struct {
+	pos  token.Pos
+	desc string
+	kind int
+}
+
+// concFacts are the concurrency-relevant facts of one function-like body.
+type concFacts struct {
+	sites   []blockSite
+	cancel  bool
+	callees []*types.Func // resolved callees, deduplicated, source order
+}
+
+// scanConc computes fi's direct blocking sites, cancel observation, and
+// the callee list used to propagate both, excluding nested closures and
+// go statements.
+func (a *Analysis) scanConc(fi *funcInfo) {
+	f := scanConcBody(fi.pkg.Info, fi.decl.Body, true)
+	fi.concSites = f.sites
+	fi.concCallees = f.callees
+	fi.receivesCancel = f.cancel
+	if len(f.sites) > 0 {
+		fi.blocks = true
+		fi.blocksWhy = f.sites[0].desc
+	}
+}
+
+// propagateConc closes blocks/receivesCancel over the call graph.
+// Monotone over a finite lattice, so it terminates; callees are visited
+// in source order so provenance chains are deterministic.
+func (a *Analysis) propagateConc() {
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range a.funcs {
+			for _, callee := range fi.concCallees {
+				cf := a.byObj[callee]
+				if cf == nil {
+					continue
+				}
+				if cf.blocks && !fi.blocks {
+					fi.blocks = true
+					fi.blocksWhy = chain(shortFuncName(callee), cf.blocksWhy)
+					changed = true
+				}
+				if cf.receivesCancel && !fi.receivesCancel {
+					fi.receivesCancel = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// Blocking exposes the blocks summary bit and its provenance (tests).
+func (a *Analysis) Blocking(fn *types.Func) (bool, string) {
+	fi := a.byObj[origin(fn)]
+	if fi == nil {
+		return false, ""
+	}
+	return fi.blocks, fi.blocksWhy
+}
+
+// ReceivesCancel exposes the cancel-observation summary bit (tests).
+func (a *Analysis) ReceivesCancel(fn *types.Func) bool {
+	fi := a.byObj[origin(fn)]
+	return fi != nil && fi.receivesCancel
+}
+
+// litConc computes a spawned closure's facts on demand: its own subtree
+// (nested closures included — they usually run via defer — but nested
+// spawns excluded) plus its resolved callees' summaries.
+func (a *Analysis) litConc(info *types.Info, lit *ast.FuncLit) (blocks bool, why string, cancel bool) {
+	f := scanConcBody(info, lit.Body, false)
+	cancel = f.cancel
+	if len(f.sites) > 0 {
+		blocks, why = true, f.sites[0].desc
+	}
+	for _, callee := range f.callees {
+		cf := a.byObj[callee]
+		if cf == nil {
+			continue
+		}
+		if cf.blocks && !blocks {
+			blocks, why = true, chain(shortFuncName(callee), cf.blocksWhy)
+		}
+		cancel = cancel || cf.receivesCancel
+	}
+	return blocks, why, cancel
+}
+
+// scanConcBody walks one body collecting blocking sites, cancel
+// observations, and resolved callees. skipLits excludes nested closures
+// (always true for declared functions; false when the body IS a spawned
+// closure, whose nested non-spawned closures do run on its goroutine).
+// Go statements are always excluded: the spawned work does not block the
+// spawner. Channel operations that are a select's comm clause belong to
+// the select and are not double-counted as standalone sites.
+func scanConcBody(info *types.Info, body *ast.BlockStmt, skipLits bool) concFacts {
+	var f concFacts
+	seen := map[*types.Func]bool{}
+	var comm [][2]token.Pos
+	inComm := func(pos token.Pos) bool {
+		for _, r := range comm {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if skipLits {
+				return false
+			}
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				f.cancel = true
+				comm = append(comm, [2]token.Pos{cc.Comm.Pos(), cc.Comm.End()})
+			}
+			if !hasDefault {
+				f.sites = append(f.sites, blockSite{n.Pos(), "select without default", blockKindChan})
+			}
+		case *ast.SendStmt:
+			f.cancel = true
+			if !inComm(n.Pos()) {
+				f.sites = append(f.sites, blockSite{n.Pos(), "channel send", blockKindChan})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				f.cancel = true
+				if !inComm(n.Pos()) {
+					f.sites = append(f.sites, blockSite{n.Pos(), "channel receive", blockKindChan})
+				}
+			}
+		case *ast.RangeStmt:
+			if _, ok := typeUnder(info.TypeOf(n.X)).(*types.Chan); ok {
+				f.cancel = true
+				f.sites = append(f.sites, blockSite{n.Pos(), "range over channel", blockKindChan})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					f.cancel = true
+				}
+			}
+			fn := origin(calleeFunc(info, n))
+			if fn == nil {
+				break
+			}
+			if desc, kind, ok := blockingCall(fn); ok {
+				f.sites = append(f.sites, blockSite{n.Pos(), desc, kind})
+			}
+			if cancelCall(fn) {
+				f.cancel = true
+			}
+			if !seen[fn] {
+				seen[fn] = true
+				f.callees = append(f.callees, fn)
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// typeUnder is Underlying tolerant of nil.
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// blockingCall classifies the stdlib entry points that can park a
+// goroutine indefinitely — the call half of the blocking lattice.
+func blockingCall(fn *types.Func) (desc string, kind int, ok bool) {
+	recv, name := recvTypeName(fn), fn.Name()
+	switch funcPkgPath(fn) {
+	case "net/http":
+		switch recv {
+		case "Client":
+			switch name {
+			case "Do", "Get", "Head", "Post", "PostForm":
+				return "HTTP round-trip http.Client." + name, blockKindCall, true
+			}
+		case "Transport", "RoundTripper":
+			if name == "RoundTrip" {
+				return "HTTP round-trip http." + recv + ".RoundTrip", blockKindCall, true
+			}
+		case "Server":
+			switch name {
+			case "Serve", "ServeTLS", "ListenAndServe", "ListenAndServeTLS", "Shutdown":
+				return "http.Server." + name, blockKindCall, true
+			}
+		case "":
+			switch name {
+			case "Get", "Head", "Post", "PostForm":
+				return "HTTP round-trip http." + name, blockKindCall, true
+			case "Serve", "ServeTLS", "ListenAndServe", "ListenAndServeTLS":
+				return "http." + name, blockKindCall, true
+			}
+		}
+	case "net":
+		if name == "Accept" && strings.HasSuffix(recv, "Listener") {
+			return "net." + recv + ".Accept", blockKindCall, true
+		}
+		if recv == "" && strings.HasPrefix(name, "Dial") {
+			return "net." + name, blockKindCall, true
+		}
+	case "sync":
+		if recv == "WaitGroup" && name == "Wait" {
+			return "sync.WaitGroup.Wait", blockKindCall, true
+		}
+		if recv == "Cond" && name == "Wait" {
+			return "sync.Cond.Wait", blockKindCondWait, true
+		}
+	case "time":
+		if recv == "" && name == "Sleep" {
+			return "time.Sleep", blockKindCall, true
+		}
+	}
+	return "", 0, false
+}
+
+// cancelCall classifies the stdlib calls that observe a cancellation or
+// join signal: waiting on (or arming) a WaitGroup or Cond, and reaching
+// for ctx.Done — the signals goleak accepts as "someone can stop or
+// reap this goroutine".
+func cancelCall(fn *types.Func) bool {
+	recv, name := recvTypeName(fn), fn.Name()
+	switch funcPkgPath(fn) {
+	case "sync":
+		return (recv == "WaitGroup" && (name == "Wait" || name == "Done")) ||
+			(recv == "Cond" && name == "Wait")
+	case "context":
+		return recv == "Context" && name == "Done"
+	}
+	return false
+}
+
+// recvTypeName reports the named receiver type of a method ("" for
+// package-level functions), following pointer receivers. Interface
+// methods resolve too: net.Listener.Accept has receiver type Listener.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// cancelCarrier reports whether values of t can carry a cancellation or
+// join signal into a goroutine: channels, context.Context,
+// sync.WaitGroup, sync.Cond, and pointers to them.
+func cancelCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return cancelCarrier(p.Elem())
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() {
+	case "sync":
+		return n.Obj().Name() == "WaitGroup" || n.Obj().Name() == "Cond"
+	case "context":
+		return n.Obj().Name() == "Context"
+	}
+	return false
+}
+
+// blockingSitesIn collects the blocking sites inside one statement or
+// expression, including calls to module functions whose summary blocks —
+// the node-granular query lockhold asks while walking a critical
+// section. Nested closures and go statements do not run here and are
+// skipped; Cond.Wait sites are skipped too (Wait releases the mutex).
+func blockingSitesIn(a *Analysis, info *types.Info, root ast.Node) []blockSite {
+	var out []blockSite
+	var comm [][2]token.Pos
+	inComm := func(pos token.Pos) bool {
+		for _, r := range comm {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				comm = append(comm, [2]token.Pos{cc.Comm.Pos(), cc.Comm.End()})
+			}
+			if !hasDefault {
+				out = append(out, blockSite{n.Pos(), "select without default", blockKindChan})
+			}
+		case *ast.SendStmt:
+			if !inComm(n.Pos()) {
+				out = append(out, blockSite{n.Pos(), "channel send", blockKindChan})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inComm(n.Pos()) {
+				out = append(out, blockSite{n.Pos(), "channel receive", blockKindChan})
+			}
+		case *ast.RangeStmt:
+			if _, ok := typeUnder(info.TypeOf(n.X)).(*types.Chan); ok {
+				out = append(out, blockSite{n.Pos(), "range over channel", blockKindChan})
+			}
+		case *ast.CallExpr:
+			fn := origin(calleeFunc(info, n))
+			if fn == nil {
+				break
+			}
+			if desc, kind, ok := blockingCall(fn); ok {
+				if kind != blockKindCondWait {
+					out = append(out, blockSite{n.Pos(), desc, kind})
+				}
+				break
+			}
+			if cf := a.byObj[fn]; cf != nil && cf.blocks {
+				out = append(out, blockSite{n.Pos(), "call to " + shortFuncName(fn) + " (" + cf.blocksWhy + ")", blockKindCall})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// funcUnits returns the function-like bodies declared in decl — the decl
+// itself plus every closure, in source order. The path-sensitive rules
+// analyze each unit against its own CFG, because a closure's paths end
+// at the closure's return, not its definer's.
+func funcUnits(decl *ast.FuncDecl) []ast.Node {
+	units := []ast.Node{decl}
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			units = append(units, lit)
+		}
+		return true
+	})
+	return units
+}

@@ -1,0 +1,48 @@
+package lint
+
+import "testing"
+
+// TestConcSummaries pins the concurrency half of the interprocedural
+// engine against the rule fixtures: the blocks bit with its provenance
+// chain, direct and through a module callee, and the receives-cancel
+// bit that separates a joinable goroutine from a leak.
+func TestConcSummaries(t *testing.T) {
+	t.Run("direct", func(t *testing.T) {
+		pkgs := []*Package{loadFixtureT(t, "goleak")}
+		a := Analyze(pkgs)
+		rel := "internal/fixture/goleak"
+
+		blocks, why := a.Blocking(findFunc(t, pkgs, rel, "", "pump"))
+		if !blocks {
+			t.Fatal("pump not summarized as blocking")
+		}
+		if want := "time.Sleep"; why != want {
+			t.Errorf("pump provenance = %q, want %q", why, want)
+		}
+		if a.ReceivesCancel(findFunc(t, pkgs, rel, "", "pump")) {
+			t.Error("pump observes no signal but is summarized as cancelable")
+		}
+
+		joined := findFunc(t, pkgs, rel, "", "joined")
+		if blocks, _ := a.Blocking(joined); !blocks {
+			t.Error("joined (Sleep) not summarized as blocking")
+		}
+		if !a.ReceivesCancel(joined) {
+			t.Error("joined signals wg.Done but is not summarized as cancelable")
+		}
+	})
+
+	t.Run("transitive", func(t *testing.T) {
+		pkgs := []*Package{loadFixtureT(t, "lockhold")}
+		a := Analyze(pkgs)
+		rel := "internal/fixture/lockhold"
+
+		blocks, why := a.Blocking(findFunc(t, pkgs, rel, "S", "Push"))
+		if !blocks {
+			t.Fatal("Push not summarized as blocking through its callee")
+		}
+		if want := "S.flush ← channel send"; why != want {
+			t.Errorf("Push provenance = %q, want %q", why, want)
+		}
+	})
+}

@@ -156,10 +156,20 @@ func shortFuncName(fn *types.Func) string {
 // the innermost containing function body (closures reset the count) via
 // a lazily built, cached CFG.
 func (a *Analysis) loopDepthAt(fi *funcInfo, pos token.Pos) int {
-	fn := innermostFuncNode(fi.decl, pos)
+	g := a.cfgOf(innermostFuncNode(fi.decl, pos))
+	if g == nil {
+		return 0
+	}
+	return g.LoopDepthAt(pos)
+}
+
+// cfgOf returns the cached CFG for a function-like node (FuncDecl or
+// FuncLit), building it on first use. Shared by the hot-path loop-depth
+// queries and the path-sensitive rules (lockhold, resleak).
+func (a *Analysis) cfgOf(fn ast.Node) *CFG {
 	body := bodyOf(fn)
 	if body == nil {
-		return 0
+		return nil
 	}
 	if a.cfgs == nil {
 		a.cfgs = map[ast.Node]*CFG{}
@@ -169,5 +179,5 @@ func (a *Analysis) loopDepthAt(fi *funcInfo, pos token.Pos) int {
 		g = buildCFG(body)
 		a.cfgs[fn] = g
 	}
-	return g.LoopDepthAt(pos)
+	return g
 }

@@ -120,6 +120,10 @@ func AllRules() []Rule {
 		HotAllocRule{},
 		HotDeferRule{},
 		HotBoxRule{},
+		GoLeakRule{},
+		CtxFlowRule{},
+		LockHoldRule{},
+		ResLeakRule{},
 	}
 }
 

@@ -92,6 +92,10 @@ func TestRuleFixtures(t *testing.T) {
 		{"hotalloc", []Rule{HotAllocRule{}}},
 		{"hotdefer", []Rule{HotDeferRule{}}},
 		{"hotbox", []Rule{HotBoxRule{}}},
+		{"goleak", []Rule{GoLeakRule{}}},
+		{"ctxflow", []Rule{CtxFlowRule{}}},
+		{"lockhold", []Rule{LockHoldRule{}}},
+		{"resleak", []Rule{ResLeakRule{}}},
 		{"directive", AllRules()},
 		{"directiveipa", AllRules()},
 	}
@@ -271,6 +275,36 @@ func TestLoadModuleSelf(t *testing.T) {
 	}
 }
 
+// TestModuleConcurrencyClean pins the PR-series contract for the
+// concurrency/resource layer: the whole module runs clean under the
+// four rules, with the checked-in baseline EMPTY — every real finding
+// was fixed or reason-annotated at the site, not swept into the
+// ratchet file.
+func TestModuleConcurrencyClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := LoadBaseline(filepath.Join(root, "lint-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(bl.Entries); n != 0 {
+		t.Errorf("lint-baseline.json carries %d entries; the concurrency rules must hold with an empty baseline", n)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []Rule{GoLeakRule{}, CtxFlowRule{}, LockHoldRule{}, ResLeakRule{}}
+	if diags := Run(pkgs, rules); len(diags) != 0 {
+		t.Errorf("module is not clean under the concurrency/resource rules:\n%s", render(root, diags))
+	}
+}
+
 // TestRunWorkersByteIdentical pins the linter's own determinism
 // contract: the rendered diagnostics are byte-identical for every worker
 // count, including module rules whose engine runs after the parallel
@@ -280,7 +314,9 @@ func TestRunWorkersByteIdentical(t *testing.T) {
 	pkgs = append(pkgs, loadModuleFixtureT(t, "timetaint")...)
 	pkgs = append(pkgs, loadModuleFixtureT(t, "hotalloc")...)
 	pkgs = append(pkgs, loadFixtureT(t, "gounsync"), loadFixtureT(t, "units"),
-		loadFixtureT(t, "hotdefer"), loadFixtureT(t, "hotbox"))
+		loadFixtureT(t, "hotdefer"), loadFixtureT(t, "hotbox"),
+		loadFixtureT(t, "goleak"), loadFixtureT(t, "ctxflow"),
+		loadFixtureT(t, "lockhold"), loadFixtureT(t, "resleak"))
 
 	want := render(".", RunWorkers(pkgs, AllRules(), 1))
 	if want == "" {

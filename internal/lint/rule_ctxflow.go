@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlowRule is a context taint analysis: a function handed a
+// context.Context (or *http.Request, which carries one) has promised its
+// caller it can be canceled, so every operation inside it that can block
+// indefinitely must be reachable by that context. Taint seeds at the
+// carrier parameters and grows flow-insensitively through assignments —
+// ctx2 := context.WithTimeout(ctx, d), req := http.NewRequestWithContext
+// (ctx, ...) — and a blocking site is clean when a tainted value flows
+// into it: a select with a case on a tainted channel (<-ctx.Done()), a
+// blocking call with a tainted argument or receiver. Everything else is
+// a broken promise: the caller cancels, this function keeps waiting.
+//
+// The rule also carries one syntactic companion check with the same
+// timeout-discipline rationale: an http.Server composite literal without
+// ReadHeaderTimeout (or ReadTimeout), which lets one slow-header client
+// hold a connection — and any graceful drain — open forever.
+//
+// Closures and go statements inside the function body are skipped: a
+// spawned goroutine outliving the request is goleak's domain, not a
+// context-flow violation at this site.
+type CtxFlowRule struct{}
+
+func (CtxFlowRule) Name() string { return "ctxflow" }
+
+func (CtxFlowRule) Doc() string {
+	return "flags blocking operations in context-bearing functions that the context cannot reach, and http.Server literals without ReadHeaderTimeout"
+}
+
+func (CtxFlowRule) CheckModule(a *Analysis, report ReportFunc) {
+	for _, fi := range a.funcs {
+		if !underSim(fi.pkg.Rel) {
+			continue
+		}
+		tainted := ctxParams(fi.pkg, fi.decl)
+		if len(tainted) > 0 {
+			growTaint(fi.pkg.Info, fi.decl.Body, tainted)
+			checkCtxSites(a, fi, tainted, report)
+		}
+	}
+	for _, p := range a.Pkgs {
+		if underSim(p.Rel) {
+			checkServerLiterals(p, report)
+		}
+	}
+}
+
+// ctxParams collects the declared carrier parameters: context.Context
+// and *http.Request.
+func ctxParams(p *Package, decl *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if decl.Type.Params == nil {
+		return out
+	}
+	for _, fld := range decl.Type.Params.List {
+		if !ctxCarrierType(p.Info.TypeOf(fld.Type)) {
+			continue
+		}
+		for _, name := range fld.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// ctxCarrierType reports whether t is context.Context or *http.Request.
+func ctxCarrierType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		n, ok := ptr.Elem().(*types.Named)
+		return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == "Request"
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// growTaint extends the tainted set through assignments whose right side
+// mentions a tainted value, to a fixed point. Flow-insensitive and
+// therefore over-approximate about WHAT is tainted — which makes the
+// rule under-approximate about what it flags.
+func growTaint(info *types.Info, body *ast.BlockStmt, tainted map[types.Object]bool) {
+	mark := func(lhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || tainted[obj] {
+			return false
+		}
+		tainted[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.AssignStmt:
+				if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+					if mentionsTainted(info, n.Rhs[0], tainted) {
+						for _, l := range n.Lhs {
+							changed = mark(l) || changed
+						}
+					}
+					return true
+				}
+				for i, l := range n.Lhs {
+					if i < len(n.Rhs) && mentionsTainted(info, n.Rhs[i], tainted) {
+						changed = mark(l) || changed
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) && mentionsTainted(info, n.Values[i], tainted) {
+						changed = mark(name) || changed
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mentionsTainted reports whether the subtree uses any tainted object.
+func mentionsTainted(info *types.Info, n ast.Node, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && tainted[info.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCtxSites walks the body and reports each blocking site the
+// context cannot reach.
+func checkCtxSites(a *Analysis, fi *funcInfo, tainted map[types.Object]bool, report ReportFunc) {
+	info := fi.pkg.Info
+	var comm [][2]token.Pos
+	inComm := func(pos token.Pos) bool {
+		for _, r := range comm {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			covered := false
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					covered = true // default: the select cannot block
+					continue
+				}
+				comm = append(comm, [2]token.Pos{cc.Comm.Pos(), cc.Comm.End()})
+				if mentionsTainted(info, cc.Comm, tainted) {
+					covered = true
+				}
+			}
+			if !covered {
+				report(fi.pkg, n.Pos(), "select can block forever in %s, which receives a context; add a <-ctx.Done() case", fi.obj.Name())
+			}
+		case *ast.SendStmt:
+			if !inComm(n.Pos()) && !mentionsTainted(info, n.Chan, tainted) {
+				report(fi.pkg, n.Pos(), "channel send can block forever in %s, which receives a context; select on it together with <-ctx.Done()", fi.obj.Name())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inComm(n.Pos()) && !mentionsTainted(info, n.X, tainted) {
+				report(fi.pkg, n.Pos(), "channel receive can block forever in %s, which receives a context; select on it together with <-ctx.Done()", fi.obj.Name())
+			}
+		case *ast.RangeStmt:
+			if _, ok := typeUnder(info.TypeOf(n.X)).(*types.Chan); ok && !mentionsTainted(info, n.X, tainted) {
+				report(fi.pkg, n.Pos(), "range over a channel unrelated to the context in %s; the loop outlives a canceled caller", fi.obj.Name())
+			}
+		case *ast.CallExpr:
+			fn := origin(calleeFunc(info, n))
+			if fn == nil {
+				break
+			}
+			desc, _, isBlocking := blockingCall(fn)
+			if !isBlocking {
+				cf := a.byObj[fn]
+				if cf == nil || !cf.blocks {
+					break
+				}
+				desc = "call to " + shortFuncName(fn) + " (" + cf.blocksWhy + ")"
+			}
+			if ctxReaches(info, n, tainted) {
+				break
+			}
+			report(fi.pkg, n.Pos(), "blocking %s in %s does not receive the function's context", desc, fi.obj.Name())
+		}
+		return true
+	})
+}
+
+// ctxReaches reports whether a tainted value flows into the call via an
+// argument or the method receiver.
+func ctxReaches(info *types.Info, call *ast.CallExpr, tainted map[types.Object]bool) bool {
+	for _, arg := range call.Args {
+		if mentionsTainted(info, arg, tainted) {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return mentionsTainted(info, sel.X, tainted)
+	}
+	return false
+}
+
+// checkServerLiterals flags http.Server composite literals that set
+// neither ReadHeaderTimeout nor ReadTimeout.
+func checkServerLiterals(p *Package, report ReportFunc) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			named, ok := p.Info.TypeOf(lit).(*types.Named)
+			if !ok || named.Obj().Pkg() == nil ||
+				named.Obj().Pkg().Path() != "net/http" || named.Obj().Name() != "Server" {
+				return true
+			}
+			for _, e := range lit.Elts {
+				kv, ok := e.(*ast.KeyValueExpr)
+				if !ok {
+					return true // positional literal names every field
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok &&
+					(id.Name == "ReadHeaderTimeout" || id.Name == "ReadTimeout") {
+					return true
+				}
+			}
+			report(p, lit.Pos(), "http.Server constructed without ReadHeaderTimeout: one slow-header client holds its connection — and any graceful drain — open forever")
+			return true
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+// GoLeakRule flags goroutines spawned with no cancellation or join path.
+// A long-lived daemon accretes goroutines; any spawn that can park
+// forever (channel op, HTTP round-trip, Wait, a Sleep poller) and is
+// reachable by no stop signal is a leak waiting for its trigger — the
+// connection that never answers, the peer that never sends. The spawn is
+// clean when the spawned code transitively observes a cancel/join signal
+// (receivesCancel), or when a carrier — a channel, context.Context,
+// sync.WaitGroup, or sync.Cond — reaches the spawn through an argument
+// or captured variable. Indirect spawns (`go fn()` through a function
+// value) carry no summary and are skipped, the engine's usual
+// under-approximation: miss exotic leaks, invent none.
+type GoLeakRule struct{}
+
+func (GoLeakRule) Name() string { return "goleak" }
+
+func (GoLeakRule) Doc() string {
+	return "flags goroutines that can block forever (channel ops, HTTP round-trips, Wait, Sleep loops) with no cancellation or join path reaching the spawn"
+}
+
+func (GoLeakRule) CheckModule(a *Analysis, report ReportFunc) {
+	for _, fi := range a.funcs {
+		if !underSim(fi.pkg.Rel) {
+			continue
+		}
+		for _, sp := range fi.spawns {
+			var blocks, cancel bool
+			var why string
+			if sp.lit != nil {
+				blocks, why, cancel = a.litConc(fi.pkg.Info, sp.lit)
+				for _, v := range sp.captured {
+					cancel = cancel || cancelCarrier(v.Type())
+				}
+			} else {
+				if sp.callee == nil {
+					continue
+				}
+				ci := a.byObj[sp.callee]
+				if ci == nil {
+					continue // body outside the analyzed packages
+				}
+				blocks, why, cancel = ci.blocks, ci.blocksWhy, ci.receivesCancel
+				for _, arg := range sp.stmt.Call.Args {
+					cancel = cancel || cancelCarrier(fi.pkg.Info.TypeOf(arg))
+				}
+			}
+			if blocks && !cancel {
+				report(fi.pkg, sp.stmt.Pos(), "goroutine can block forever (%s) with no cancellation or join path — no context, channel, or WaitGroup reaches the spawn", why)
+			}
+		}
+	}
+}

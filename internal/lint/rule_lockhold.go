@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHoldRule flags CFG paths that hold a sync.Mutex or sync.RWMutex
+// across an operation that can block indefinitely. A critical section
+// that parks on a channel, an HTTP round-trip, or a WaitGroup turns one
+// slow peer into a pile-up: every other goroutine needing the lock — the
+// whole API surface, in a daemon — queues behind it. Lock identity is
+// the receiver expression's source form ("s.mu"), which is exactly the
+// precision the repository's lock-per-struct idiom needs; a path is held
+// from x.Lock() until a matching x.Unlock() (x.RUnlock() for RLock) on
+// that path. A deferred unlock keeps the lock held to the function's
+// exit, so everything after the defer is still a held region — the
+// classic lock-then-defer-then-block wedge. Blocking comes from the same
+// lattice as the summaries (conc.go) plus transitively-blocking module
+// callees; sync.Cond.Wait is exempt because Wait releases the mutex
+// while parked — the worker-pool idiom must pass clean.
+type LockHoldRule struct{}
+
+func (LockHoldRule) Name() string { return "lockhold" }
+
+func (LockHoldRule) Doc() string {
+	return "flags sync.Mutex/RWMutex critical sections with a CFG path through a blocking operation (channel op, HTTP round-trip, Wait) before the unlock"
+}
+
+func (LockHoldRule) CheckModule(a *Analysis, report ReportFunc) {
+	for _, fi := range a.funcs {
+		if !underSim(fi.pkg.Rel) {
+			continue
+		}
+		for _, unit := range funcUnits(fi.decl) {
+			checkLockPaths(a, fi, unit, report)
+		}
+	}
+}
+
+// lockAcq is one x.Lock()/x.RLock() statement.
+type lockAcq struct {
+	stmt  ast.Stmt
+	key   string // receiver expression, e.g. "s.mu"
+	rlock bool
+}
+
+// checkLockPaths walks forward from each lock acquisition in one
+// function-like unit, reporting blocking sites reached while held.
+func checkLockPaths(a *Analysis, fi *funcInfo, unit ast.Node, report ReportFunc) {
+	body := bodyOf(unit)
+	if body == nil {
+		return
+	}
+	var acqs []lockAcq
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own unit
+		}
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if key, rlock, ok := lockCall(fi.pkg.Info, es.X); ok {
+			acqs = append(acqs, lockAcq{stmt: es, key: key, rlock: rlock})
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+	g := a.cfgOf(unit)
+	if g == nil {
+		return
+	}
+	for _, acq := range acqs {
+		blk, idx := g.locate(acq.stmt)
+		if blk == nil {
+			continue
+		}
+		reported := map[token.Pos]bool{}
+		visited := map[int]bool{blk.id: true}
+		var walk func(b *cfgBlock, start int)
+		walk = func(b *cfgBlock, start int) {
+			for i := start; i < len(b.nodes); i++ {
+				n := b.nodes[i]
+				if n != acq.stmt && releasesLock(fi.pkg.Info, n, acq) {
+					return
+				}
+				for _, site := range blockingSitesIn(a, fi.pkg.Info, n) {
+					if reported[site.pos] {
+						continue
+					}
+					reported[site.pos] = true
+					line := fi.pkg.Fset.Position(acq.stmt.Pos()).Line
+					report(fi.pkg, site.pos, "%s (locked at line %d) is held across %s; release the lock before blocking", acq.key, line, site.desc)
+				}
+			}
+			for _, s := range b.succs {
+				if !visited[s.id] {
+					visited[s.id] = true
+					walk(s, 0)
+				}
+			}
+		}
+		walk(blk, idx+1)
+	}
+}
+
+// lockCall matches x.Lock() / x.RLock() on a sync.Mutex or sync.RWMutex
+// and returns the lock's identity (the rendered receiver expression).
+func lockCall(info *types.Info, e ast.Expr) (key string, rlock bool, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	fn := origin(calleeFunc(info, call))
+	if fn == nil || funcPkgPath(fn) != "sync" {
+		return "", false, false
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", false, false
+	}
+	if fn.Name() != "Lock" && fn.Name() != "RLock" {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), fn.Name() == "RLock", true
+}
+
+// releasesLock reports whether node n releases acq on this path: a
+// non-deferred call to the matching Unlock on the same receiver
+// expression. A DeferStmt never releases for path purposes — the unlock
+// runs at function exit, after everything the walk still visits.
+func releasesLock(info *types.Info, n ast.Node, acq lockAcq) bool {
+	want := "Unlock"
+	if acq.rlock {
+		want = "RUnlock"
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			fn := origin(calleeFunc(info, m))
+			if fn == nil || funcPkgPath(fn) != "sync" || fn.Name() != want {
+				return true
+			}
+			if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && types.ExprString(sel.X) == acq.key {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,80 @@
+// Package ctxflow exercises the context-flow rule: a function handed a
+// context has promised it can be canceled, so blocking sites the
+// context cannot reach are flagged. The companion check flags
+// http.Server literals without a read timeout.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// slowPoll blocks forever; calling it from a context-bearing function
+// without the context is the transitive positive.
+func slowPoll() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// Wait receives a context and ignores it at every blocking site.
+func Wait(ctx context.Context, tick chan int, out chan<- int, urls <-chan string) {
+	<-tick // receive unrelated to ctx
+
+	out <- 1 // send unrelated to ctx
+
+	select { // no ctx case, no default
+	case v := <-tick:
+		_ = v
+	}
+
+	for range urls { // loop outlives a canceled caller
+	}
+
+	slowPoll() // transitively blocking module callee, no ctx
+
+	resp, err := http.Get("http://example.invalid/") // blocking stdlib call, no ctx
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// Covered demonstrates each way the context reaches a blocking site.
+func Covered(ctx context.Context, tick chan int) error {
+	select { // a case on ctx.Done covers the select
+	case <-ctx.Done():
+		return ctx.Err()
+	case v := <-tick:
+		_ = v
+	}
+
+	select { // a default clause means the select cannot block
+	case v := <-tick:
+		_ = v
+	default:
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.invalid/", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req) // req carries the taint
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Servers: a literal without ReadHeaderTimeout is flagged; either read
+// timeout passes, and the suppression anchors at the literal.
+func Servers(h http.Handler) (*http.Server, *http.Server, *http.Server) {
+	bad := &http.Server{Handler: h}
+
+	good := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+
+	//lint:allow ctxflow — fixture: test server, torn down with its listener
+	allowed := &http.Server{Handler: h}
+
+	return bad, good, allowed
+}

@@ -1,0 +1,77 @@
+// Package goleak exercises the goroutine-leak rule: a spawn whose body
+// can block forever and that no cancellation or join signal reaches is
+// flagged; spawns that observe a signal, or that a carrier (channel,
+// context, WaitGroup, Cond) reaches through an argument or capture,
+// pass.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// pump blocks forever on a sleep loop and observes no signal — spawning
+// it bare is the named-function positive.
+func pump() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// Spawns hosts the flagged spawns.
+func Spawns() {
+	go pump() // named function: blocks, no carrier argument
+
+	go func() { // sleep poller with nothing captured
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	go func() { // empty select parks forever
+		select {}
+	}()
+}
+
+// joined blocks but signals its join through the WaitGroup — the Done
+// marks it cancelable, and the argument is a carrier besides.
+func joined(wg *sync.WaitGroup) {
+	defer wg.Done()
+	time.Sleep(time.Millisecond)
+}
+
+// Clean demonstrates each cancel path the rule honors.
+func Clean(ctx context.Context) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go joined(&wg)
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		<-done // the channel receive is both the block and the cancel
+	}()
+	close(done)
+
+	go func() { // observes the captured context's Done channel
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+}
+
+// Allowed documents a deliberate process-lifetime goroutine.
+func Allowed() {
+	//lint:allow goleak — fixture: process-lifetime ticker, dies with the process
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

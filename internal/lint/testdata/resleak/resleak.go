@@ -1,0 +1,96 @@
+// Package resleak exercises the resource-leak rule: an acquired
+// resource with a CFG path to a return that neither uses nor hands it
+// off is flagged. Any mention of the resource discharges the path;
+// returns on the acquisition's error path are exempt; the blank
+// `_ = v` assignment is not a use.
+package resleak
+
+import (
+	"net"
+	"os"
+)
+
+// LeakEarlyReturn opens the file, survives the error check, then leaks
+// it on the early return.
+func LeakEarlyReturn(path string, skip bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil // the leaking path
+	}
+	return f.Close()
+}
+
+// LeakFallOff acquires and falls off the end; the blank assignment is
+// the compiler-silencing idiom, not a use.
+func LeakFallOff(path string) {
+	f, _ := os.Open(path)
+	_ = f
+}
+
+// LeakListener is the early-return shape over a socket.
+func LeakListener(addr string, check bool) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if check {
+		return nil // the leaking path
+	}
+	return ln.Close()
+}
+
+// DeferClose is the canonical clean shape: the deferred Close is a use
+// on every path.
+func DeferClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return process(f)
+}
+
+// HandOffVar returns the variable — the return is a use, ownership
+// moves to the caller.
+func HandOffVar(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	return f, err
+}
+
+// ErrorPathOnly closes on success and returns the error otherwise.
+func ErrorPathOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// FatalPath dies with the process on failure; a dead process cannot
+// leak, and the success path hands the file off.
+func FatalPath(path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		os.Exit(1)
+	}
+	return f
+}
+
+func process(f *os.File) error { return f.Close() }
+
+// Allowed documents a hand-off the tracker cannot see; the suppression
+// anchors at the acquisition, where the rule reports.
+func Allowed(path string, skip bool) error {
+	//lint:allow resleak — fixture: registry in init code owns the handle for process lifetime
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	return f.Close()
+}
